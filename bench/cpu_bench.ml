@@ -1,0 +1,79 @@
+(* Wall-clock micro-benchmarks (bechamel) for the primitive operations
+   whose cost drives Fig. 1-right and Fig. 12: join, decomposition, the
+   optimal delta Δ, and the two receive paths of Algorithm 1 (classic
+   inflation check vs RR extraction). *)
+
+open Bechamel
+open Crdt_core
+
+let rng = Random.State.make [| 2024 |]
+
+let gset n =
+  Gset.Of_int.of_list (List.init n (fun _ -> Random.State.int rng 1_000_000))
+
+let gcounter n =
+  Gcounter.of_list
+    (List.init n (fun i ->
+         (Replica_id.of_int i, 1 + Random.State.int rng 100)))
+
+let gmap n =
+  Gmap.Versioned.of_list
+    (List.init n (fun i -> (i, 1 + Random.State.int rng 100)))
+
+module Dset = Delta.Make (Gset.Of_int)
+module Dmap = Delta.Make (Gmap.Versioned)
+
+let tests =
+  let s1 = gset 1000 and s2 = gset 1000 in
+  let small = gset 10 in
+  let c1 = gcounter 64 and c2 = gcounter 64 in
+  let m1 = gmap 1000 and m2 = gmap 1000 in
+  Test.make_grouped ~name:"crdt-ops"
+    [
+      Test.make ~name:"gset-join-1k"
+        (Staged.stage (fun () -> ignore (Gset.Of_int.join s1 s2)));
+      Test.make ~name:"gcounter-join-64"
+        (Staged.stage (fun () -> ignore (Gcounter.join c1 c2)));
+      Test.make ~name:"gmap-join-1k"
+        (Staged.stage (fun () -> ignore (Gmap.Versioned.join m1 m2)));
+      Test.make ~name:"gset-decompose-1k"
+        (Staged.stage (fun () -> ignore (Gset.Of_int.decompose s1)));
+      Test.make ~name:"gmap-decompose-1k"
+        (Staged.stage (fun () -> ignore (Gmap.Versioned.decompose m1)));
+      Test.make ~name:"gset-delta-1k"
+        (Staged.stage (fun () -> ignore (Dset.delta s1 s2)));
+      Test.make ~name:"gmap-delta-1k"
+        (Staged.stage (fun () -> ignore (Dmap.delta m1 m2)));
+      (* The two receive paths of Algorithm 1 on a small δ-group against
+         a large local state: classic pays a ⊑ check and then re-buffers
+         everything; RR pays one decomposition of the (small) group. *)
+      Test.make ~name:"classic-inflation-check"
+        (Staged.stage (fun () -> ignore (Gset.Of_int.leq small s1)));
+      Test.make ~name:"rr-extraction"
+        (Staged.stage (fun () -> ignore (Dset.delta small s1)));
+    ]
+
+let run () =
+  Report.section "CPU" "per-operation wall-clock cost (bechamel)";
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> Printf.sprintf "%.0f ns" x
+        | _ -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  Report.table
+    ~header:[ "operation"; "time per run" ]
+    (List.sort compare !rows)

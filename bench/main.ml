@@ -1,0 +1,67 @@
+(* Benchmark harness entry point.
+
+   Regenerates every table and figure of the paper's evaluation section
+   (see DESIGN.md §5 and EXPERIMENTS.md).  With no arguments, runs the
+   whole suite at the default scale; individual experiments can be
+   selected by id, and the scale switched with --quick / --paper:
+
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig7 fig9    # selected experiments
+     dune exec bench/main.exe -- --quick      # reduced scale (CI)
+     dune exec bench/main.exe -- --paper      # paper-scale Retwis run *)
+
+let all_ids =
+  [
+    "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
+    "ablation"; "cpu";
+  ]
+
+let usage () =
+  Printf.printf
+    "usage: main.exe [--quick|--paper] [%s ...]\n(fig11 also prints Fig 12; \
+     no ids = run everything)\n"
+    (String.concat "|" all_ids)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then usage ()
+  else begin
+    let scale =
+      if List.mem "--quick" args then Experiments.quick_scale
+      else if List.mem "--paper" args then Experiments.paper_scale
+      else Experiments.default_scale
+    in
+    let ids =
+      match
+        List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args
+      with
+      | [] -> all_ids
+      | ids ->
+          List.iter
+            (fun id ->
+              if not (List.mem id all_ids) then begin
+                Printf.eprintf "unknown experiment id: %s\n" id;
+                usage ();
+                exit 1
+              end)
+            ids;
+          ids
+    in
+    let t0 = Sys.time () in
+    List.iter
+      (fun id ->
+        match id with
+        | "fig1" -> Experiments.fig1 scale
+        | "tab1" -> Experiments.table1 ()
+        | "fig7" -> Experiments.fig7 scale
+        | "fig8" -> Experiments.fig8 scale
+        | "fig9" -> Experiments.fig9 scale
+        | "fig10" -> Experiments.fig10 scale
+        | "tab2" -> Experiments.table2 scale
+        | "fig11" | "fig12" -> Experiments.fig11_12 scale
+        | "ablation" -> Experiments.ablation scale
+        | "cpu" -> Cpu_bench.run ()
+        | _ -> assert false)
+      ids;
+    Printf.printf "\ntotal bench time: %.1fs\n" (Sys.time () -. t0)
+  end

@@ -1,0 +1,42 @@
+(* Plain-text reporting for the benchmark harness: section banners and
+   aligned tables, one section per paper table/figure. *)
+
+let section id title =
+  Printf.printf "\n%s\n== %-6s %s\n%s\n" (String.make 78 '=') id title
+    (String.make 78 '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "   %s\n" s) fmt
+
+(* Render rows with the first column left-aligned and the rest
+   right-aligned, sized to fit. *)
+let table ~header rows =
+  let cols = List.length header in
+  let all = header :: rows in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        if c = 0 then Printf.printf "  %-*s" w cell
+        else Printf.printf "  %*s" w cell)
+      row;
+    print_newline ()
+  in
+  print_row header;
+  Printf.printf "  %s\n"
+    (String.make (List.fold_left ( + ) (2 * (cols - 1)) widths) '-');
+  List.iter print_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let i = string_of_int
+
+let bytes x =
+  if x >= 1_073_741_824. then Printf.sprintf "%.2f GB" (x /. 1_073_741_824.)
+  else if x >= 1_048_576. then Printf.sprintf "%.2f MB" (x /. 1_048_576.)
+  else if x >= 1024. then Printf.sprintf "%.1f kB" (x /. 1024.)
+  else Printf.sprintf "%.0f B" x

@@ -1,0 +1,251 @@
+(* crdtsync — command-line driver for the synchronization experiments.
+
+   Subcommands:
+     micro   run a micro-benchmark (Table I workload) under every protocol
+     retwis  run the Retwis application benchmark (classic vs BP+RR)
+     topo    describe a topology
+
+   Examples:
+     crdtsync micro --crdt gset --topology mesh --nodes 15 --rounds 100
+     crdtsync micro --crdt gmap --k 60 --topology tree
+     crdtsync retwis --zipf 1.25 --users 1000 --nodes 16 --rounds 40
+     crdtsync topo --topology mesh --nodes 15 *)
+
+open Cmdliner
+open Crdt_core
+open Crdt_sim
+
+let make_topology name nodes =
+  match name with
+  | "tree" -> Topology.tree nodes
+  | "mesh" -> Topology.partial_mesh nodes
+  | "ring" -> Topology.ring nodes
+  | "line" -> Topology.line nodes
+  | "star" -> Topology.star nodes
+  | "full" -> Topology.full_mesh nodes
+  | other -> invalid_arg (Printf.sprintf "unknown topology %S" other)
+
+let topology_arg =
+  Arg.(
+    value & opt string "mesh"
+    & info [ "topology"; "t" ] ~docv:"NAME"
+        ~doc:"Topology: tree, mesh, ring, line, star or full.")
+
+let nodes_arg =
+  Arg.(
+    value & opt int 15
+    & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Number of replicas.")
+
+let rounds_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "rounds"; "r" ] ~docv:"R"
+        ~doc:"Synchronization rounds (one update per node per round).")
+
+(* -- micro -------------------------------------------------------------- *)
+
+let print_outcomes outcomes =
+  let baseline =
+    List.find
+      (fun (o : Harness.outcome) -> o.protocol = "delta-bp+rr")
+      outcomes
+  in
+  let base = Metrics.total_transmission baseline.summary in
+  Printf.printf "%-15s %14s %8s %14s %12s\n" "protocol" "tx (elements)"
+    "ratio" "avg mem (elt)" "work units";
+  List.iter
+    (fun (o : Harness.outcome) ->
+      let tx = Metrics.total_transmission o.summary in
+      Printf.printf "%-15s %14d %8.2f %14.0f %12d%s\n" o.protocol tx
+        (float_of_int tx /. float_of_int base)
+        o.full.Metrics.avg_memory_weight o.work
+        (if o.converged then "" else "  NOT CONVERGED"))
+    outcomes
+
+let run_micro crdt topology nodes rounds k =
+  let topo = make_topology topology nodes in
+  Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
+    rounds;
+  (match crdt with
+  | "gset" ->
+      let module H = Harness.Make (Gset.Of_int) in
+      print_outcomes
+        (H.run ~topology:topo ~rounds
+           ~ops:(fun ~round ~node state ->
+             Workload.gset ~nodes ~round ~node state)
+           ())
+  | "gcounter" ->
+      let module H = Harness.Make (Gcounter) in
+      print_outcomes
+        (H.run ~topology:topo ~rounds
+           ~ops:(fun ~round ~node state -> Workload.gcounter ~round ~node state)
+           ())
+  | "gmap" ->
+      let module H = Harness.Make (Gmap.Versioned) in
+      print_outcomes
+        (H.run ~topology:topo ~rounds
+           ~ops:(fun ~round ~node state ->
+             Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
+           ())
+  | "orset" ->
+      let module H = Harness.Make (Aw_set.Of_int) in
+      (* unique adds plus an observed-remove every third round; op-based
+         is excluded because Remove reads the local state. *)
+      let selection = { Harness.all_protocols with op_based = false } in
+      print_outcomes
+        (H.run ~selection ~topology:topo ~rounds
+           ~ops:(fun ~round ~node state ->
+             let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
+             if round mod 3 = 0 && node = 0 then
+               match Aw_set.Of_int.value state with
+               | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
+               | [] -> [ add ]
+             else [ add ])
+           ())
+  | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other));
+  0
+
+let micro_cmd =
+  let crdt =
+    Arg.(
+      value & opt string "gset"
+      & info [ "crdt"; "c" ] ~docv:"CRDT"
+          ~doc:"Benchmark data type: gset, gcounter, gmap or orset.")
+  in
+  let k =
+    Arg.(
+      value & opt int 100
+      & info [ "k" ] ~docv:"K" ~doc:"GMap only: percentage of keys updated \
+                                     globally per round.")
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
+    Term.(const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k)
+
+(* -- retwis ------------------------------------------------------------- *)
+
+let run_retwis zipf users topology nodes rounds =
+  let topo = make_topology topology nodes in
+  Printf.printf
+    "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\n" users
+    zipf topology nodes rounds;
+  let module Classic =
+    Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Classic_config) in
+  let module BpRr =
+    Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Bp_rr_config) in
+  let module Rc = Runner.Make (Classic) in
+  let module Rb = Runner.Make (BpRr) in
+  let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
+  let w1 = wl () in
+  let rc =
+    Rc.run ~equal:Classic.equal_states ~topology:topo ~rounds
+      ~ops:(fun ~round ~node state ->
+        Crdt_retwis.Workload.ops_sharded w1 ~round ~node state)
+      ()
+  in
+  let w2 = wl () in
+  let rb =
+    Rb.run ~equal:BpRr.equal_states ~topology:topo ~rounds
+      ~ops:(fun ~round ~node state ->
+        Crdt_retwis.Workload.ops_sharded w2 ~round ~node state)
+      ()
+  in
+  let row name (s : Metrics.summary) work converged =
+    Printf.printf "%-14s tx=%9d bytes   mem/node=%9.0f bytes   work=%9d%s\n"
+      name
+      (Metrics.total_transmission_bytes s)
+      (s.Metrics.avg_memory_bytes /. float_of_int nodes)
+      work
+      (if converged then "" else "  NOT CONVERGED")
+  in
+  row "delta-classic" (Rc.summary rc) (Rc.total_work rc) rc.Rc.converged;
+  row "delta-bp+rr" (Rb.summary rb) (Rb.total_work rb) rb.Rb.converged;
+  0
+
+let retwis_cmd =
+  let zipf =
+    Arg.(
+      value & opt float 1.0
+      & info [ "zipf"; "z" ] ~docv:"S" ~doc:"Zipf contention coefficient.")
+  in
+  let users =
+    Arg.(
+      value & opt int 1000
+      & info [ "users"; "u" ] ~docv:"U" ~doc:"Number of Retwis users.")
+  in
+  Cmd.v
+    (Cmd.info "retwis"
+       ~doc:"Run the Retwis application benchmark (classic vs BP+RR)")
+    Term.(
+      const run_retwis $ zipf $ users $ topology_arg $ nodes_arg $ rounds_arg)
+
+(* -- partition ---------------------------------------------------------- *)
+
+let run_partition shared divergence =
+  let module S = Gset.Of_string in
+  let module P = Crdt_proto.Partition_sync.Make (S) in
+  let base =
+    S.of_list (List.init shared (fun i -> Printf.sprintf "shared-%08d-%024d" i i))
+  in
+  let grow tag n s =
+    List.fold_left
+      (fun s i -> S.add (Printf.sprintf "%s-%d" tag i) (Replica_id.of_int 0) s)
+      s (List.init n Fun.id)
+  in
+  let a = grow "a" divergence base in
+  let b = grow "b" (divergence / 2) base in
+  Printf.printf
+    "reconciling two replicas: %d shared elements, %d/%d divergent\n\n"
+    shared divergence (divergence / 2);
+  let show name (x, y, (stats : P.stats)) =
+    assert (S.equal x y);
+    Printf.printf "%-14s %d messages  %8d bytes\n" name stats.messages
+      stats.bytes
+  in
+  show "bidirectional" (P.bidirectional a b);
+  show "state-driven" (P.state_driven a b);
+  show "digest-driven" (P.digest_driven a b);
+  0
+
+let partition_cmd =
+  let shared =
+    Arg.(
+      value & opt int 5000
+      & info [ "shared" ] ~docv:"N" ~doc:"Elements common to both replicas.")
+  in
+  let divergence =
+    Arg.(
+      value & opt int 20
+      & info [ "divergence"; "d" ] ~docv:"D"
+          ~doc:"Elements only one replica has (the other gets D/2).")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Compare post-partition reconciliation strategies [30]")
+    Term.(const run_partition $ shared $ divergence)
+
+(* -- topo --------------------------------------------------------------- *)
+
+let run_topo topology nodes =
+  let t = make_topology topology nodes in
+  Format.printf "%a@." Topology.pp t;
+  Printf.printf "acyclic: %b\n" (Topology.is_acyclic t);
+  List.iter
+    (fun i ->
+      Printf.printf "  node %2d: neighbors %s\n" i
+        (String.concat ", "
+           (List.map string_of_int (Topology.neighbors t i))))
+    (List.init (Topology.size t) Fun.id);
+  0
+
+let topo_cmd =
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Describe a topology")
+    Term.(const run_topo $ topology_arg $ nodes_arg)
+
+let () =
+  let doc = "Efficient synchronization of state-based CRDTs — experiments" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "crdtsync" ~version:"1.0.0" ~doc)
+          [ micro_cmd; retwis_cmd; partition_cmd; topo_cmd ]))

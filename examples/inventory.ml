@@ -1,0 +1,51 @@
+(* Selling limited stock without coordination: a bounded counter keeps a
+   global non-negativity invariant (never oversell) while every store
+   sells from its local replica, offline if need be.
+
+   Rights to sell units are minted at the warehouse (replica 0),
+   transferred to stores, and spent locally; replicas synchronize with
+   optimal deltas over a ring.
+
+   Run with: dune exec examples/inventory.exe *)
+
+open Crdt_core
+open Crdt_sim
+module Bc = Bounded_counter
+module P = Crdt_proto.Delta_sync.Make (Bc) (Crdt_proto.Delta_sync.Bp_rr_config)
+module R = Runner.Make (P)
+
+let warehouse = 0
+let stores = [ 1; 2; 3 ]
+
+let () =
+  print_string
+    "A warehouse mints 90 units of stock and spreads selling rights to\n\
+     3 stores; every store sells as fast as its local rights allow.\n\n";
+  let topo = Topology.ring 4 in
+  let res =
+    R.run ~equal:Bc.equal ~topology:topo ~rounds:30
+      ~ops:(fun ~round ~node state ->
+        ignore state;
+        if node = warehouse && round < 9 then
+          (* Mint 10 units and hand 3×3 rights to the stores. *)
+          Bc.Inc 10
+          :: List.map (fun s -> Bc.Transfer { amount = 3; target = s }) stores
+        else if node <> warehouse then [ Bc.Dec 2 ]
+        else [])
+      ()
+  in
+  assert (res.R.converged);
+  let final = res.R.finals.(0) in
+  Printf.printf "remaining stock (converged): %d units\n" (Bc.value final);
+  List.iter
+    (fun s ->
+      Printf.printf "  store %d still holds rights for %d units\n" s
+        (Bc.rights_of (Replica_id.of_int s) final))
+    stores;
+  Printf.printf "  warehouse retains rights for %d units\n"
+    (Bc.rights_of (Replica_id.of_int warehouse) final);
+  assert (Bc.value final >= 0);
+  print_string
+    "\nEvery sale was decided locally, yet the stock never went negative:\n\
+     decrements only spend rights the replica already holds, and rights\n\
+     move between replicas through the same delta-synchronized lattice.\n"

@@ -1,0 +1,56 @@
+(** Maximal-elements composition [M(P)]: finite antichains of a partial
+    order, ordered by domination.
+
+    [M(P)] is the lattice of finite sets of pairwise-incomparable elements
+    of [P]; [A ⊑ B] iff every element of [A] is dominated by some element
+    of [B]; join keeps the maximals of the union.  The paper lists this
+    composition in Tables III/IV and Appendix C with decomposition
+    [⇓s = { {e} | e ∈ s }].  It underlies multi-value registers. *)
+
+module Make (P : Lattice_intf.POSET) : sig
+  include Lattice_intf.DECOMPOSABLE
+
+  val of_list : P.t list -> t
+  (** Builds the antichain of maximal elements of the given list. *)
+
+  val elements : t -> P.t list
+  val insert : P.t -> t -> t
+  (** [insert e s] joins [{e}] into [s], discarding dominated elements. *)
+
+  val mem : P.t -> t -> bool
+end = struct
+  module S = Set.Make (P)
+
+  type t = S.t
+
+  (* Keep only elements not strictly dominated by another element. *)
+  let maximals s =
+    S.filter
+      (fun e ->
+        not
+          (S.exists (fun e' -> (not (P.compare e e' = 0)) && P.leq e e') s))
+      s
+
+  let bottom = S.empty
+  let is_bottom = S.is_empty
+  let join a b = maximals (S.union a b)
+
+  let leq a b = S.for_all (fun e -> S.exists (fun e' -> P.leq e e') b) a
+  let equal = S.equal
+  let compare = S.compare
+  let weight = S.cardinal
+  let byte_size s = S.fold (fun e acc -> acc + P.byte_size e) s 0
+  let decompose s = S.fold (fun e acc -> S.singleton e :: acc) s []
+
+  let pp ppf s =
+    Format.fprintf ppf "@[<1>⟪%a⟫@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         P.pp)
+      (S.elements s)
+
+  let of_list l = maximals (S.of_list l)
+  let elements = S.elements
+  let insert e s = join (S.singleton e) s
+  let mem e s = S.mem e s
+end

@@ -1,0 +1,126 @@
+(** Add-wins observed-remove set (OR-Set) in a decomposable encoding.
+
+    The paper notes (Section II-A) that its results extend beyond
+    grow-only types to the complex CRDTs of the delta literature [14].
+    This module demonstrates that on the classic OR-Set: every addition
+    creates a globally unique {e dot} (replica, sequence number), and a
+    removal kills exactly the alive dots it has {e observed}.  A
+    concurrent addition creates a dot the remover has not observed, so
+    the element survives — add wins.
+
+    Encoding: a grow-only map from [(dot, element)] to the three-state
+    chain [absent(⊥) < alive(1) < dead(2)].  This is a plain [U ↪→ A]
+    composition over a chain, so the unique irredundant decomposition,
+    optimal deltas and optimal δ-mutators all come for free from the
+    paper's framework — an add's delta is one alive entry, a remove's
+    delta is one dead entry per killed dot.
+
+    Trade-off: unlike the causal-context formulation of [14], killed dots
+    remain as (small) tombstone entries.  The causal-context optimization
+    buys tombstone-freedom at the price of a non-pointwise join that
+    falls outside the distributive-lattice framework of the paper; this
+    encoding stays inside it.
+
+    Like {!Bounded_counter}, [Remove] reads the local state (it kills the
+    dots observed {e here}), so replicate by shipping state or deltas;
+    raw operation shipping would kill different dot sets at different
+    replicas. *)
+
+module Make (E : Powerset.ELT) : sig
+  type elt = E.t
+  type op = Add of elt | Remove of elt
+
+  include Lattice_intf.CRDT with type op := op
+
+  val add : elt -> Replica_id.t -> t -> t
+  val remove : elt -> Replica_id.t -> t -> t
+  val mem : elt -> t -> bool
+
+  val value : t -> elt list
+  (** Elements with at least one alive dot, sorted. *)
+
+  val alive_dots : t -> int
+  (** Number of alive dots (diagnostic). *)
+
+  val tombstones : t -> int
+  (** Number of dead dots retained as tombstones (diagnostic). *)
+end = struct
+  type elt = E.t
+
+  module Key = struct
+    type t = (int * int) * E.t
+    (** ((replica, sequence), element). *)
+
+    let compare ((d1, e1) : t) ((d2, e2) : t) =
+      match compare d1 d2 with 0 -> E.compare e1 e2 | c -> c
+
+    let byte_size ((_, e) : t) = Replica_id.id_bytes + 8 + E.byte_size e
+
+    let pp ppf (((r, s), e) : t) =
+      Format.fprintf ppf "%d.%d:%a" r s E.pp e
+  end
+
+  (* absent(0) = unseen, 1 = alive, 2 = dead. *)
+  module M = Map_lattice.Make (Key) (Chain.Max_int)
+  include M
+
+  type op = Add of elt | Remove of elt
+
+  let alive = 1
+  let dead = 2
+
+  (* Next unique sequence number for a replica: one past the highest it
+     has ever used, alive or dead. *)
+  let next_seq i m =
+    fold
+      (fun ((r, s), _) _ acc -> if r = i then max acc s else acc)
+      m 0
+    + 1
+
+  let killed_dots e m =
+    fold
+      (fun ((r, s), e') v acc ->
+        if v = alive && E.compare e e' = 0 then ((r, s), e') :: acc else acc)
+      m []
+
+  let mutate op i m =
+    let i = Replica_id.to_int i in
+    match op with
+    | Add e -> set ((i, next_seq i m), e) alive m
+    | Remove e ->
+        List.fold_left (fun m k -> set k dead m) m (killed_dots e m)
+
+  let delta_mutate op i m =
+    let i = Replica_id.to_int i in
+    match op with
+    | Add e -> singleton ((i, next_seq i m), e) alive
+    | Remove e ->
+        List.fold_left
+          (fun d k -> join d (singleton k dead))
+          bottom (killed_dots e m)
+
+  let op_weight = function Add _ | Remove _ -> 1
+  let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
+
+  let pp_op ppf = function
+    | Add e -> Format.fprintf ppf "add(%a)" E.pp e
+    | Remove e -> Format.fprintf ppf "remove(%a)" E.pp e
+
+  let add e i m = mutate (Add e) i m
+  let remove e i m = mutate (Remove e) i m
+
+  let mem e m =
+    fold
+      (fun (_, e') v acc -> acc || (v = alive && E.compare e e' = 0))
+      m false
+
+  let value m =
+    fold (fun (_, e) v acc -> if v = alive then e :: acc else acc) m []
+    |> List.sort_uniq E.compare
+
+  let alive_dots m = fold (fun _ v acc -> if v = alive then acc + 1 else acc) m 0
+  let tombstones m = fold (fun _ v acc -> if v = dead then acc + 1 else acc) m 0
+end
+
+module Of_string = Make (Powerset.String_elt)
+module Of_int = Make (Powerset.Int_elt)

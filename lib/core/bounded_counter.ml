@@ -1,0 +1,124 @@
+(** Bounded counter (BCounter): a counter that never goes below zero,
+    built purely from grow-only map compositions (Balegas et al.,
+    "Extending Eventually Consistent Cloud Databases for Enforcing
+    Numeric Invariants").
+
+    State is a pair of grow-only maps:
+
+    - [rights : (i, j) ↪→ ℕ] — cumulative rights produced by [i] for [j];
+      an increment by [i] grows [rights (i, i)], a transfer from [i] to
+      [j] grows [rights (i, j)];
+    - [consumed : i ↪→ ℕ] — cumulative decrements spent by [i].
+
+    Replica [i] may decrement only up to its {e local rights}
+    [Σⱼ rights (j, i) − Σⱼ≠ᵢ rights (i, j) − consumed i], which makes the
+    non-negativity invariant hold globally without coordination.  Both
+    components only grow, so the state is a product of map lattices and
+    inherits decompositions and optimal deltas.
+
+    Caveat: [Dec]/[Transfer] decide against the {e local} state (they are
+    no-ops when rights are insufficient), so this data type must be
+    replicated by shipping {e state or deltas}; raw operation shipping
+    (op-based synchronization) could evaluate the no-op decision
+    differently at different replicas. *)
+
+module Edge_key = struct
+  type t = int * int
+
+  let compare = compare
+  let byte_size _ = 2 * Replica_id.id_bytes
+  let pp ppf (i, j) = Format.fprintf ppf "%d→%d" i j
+end
+
+module Rights = Map_lattice.Make (Edge_key) (Chain.Max_int)
+module Consumed = Map_lattice.Make (Gmap.Int_key) (Chain.Max_int)
+module P = Product.Make (Rights) (Consumed)
+include P
+
+type op =
+  | Inc of int  (** produce [n] new rights locally. *)
+  | Dec of int  (** consume [n] rights; no-op when insufficient. *)
+  | Transfer of { amount : int; target : Replica_id.t }
+      (** move rights to another replica; no-op when insufficient. *)
+
+(* Local rights available to replica [i]. *)
+let local_rights i ((rights, consumed) : t) =
+  let received =
+    Rights.fold
+      (fun (_, dst) v acc -> if dst = i then acc + v else acc)
+      rights 0
+  in
+  let given =
+    Rights.fold
+      (fun (src, dst) v acc ->
+        if src = i && dst <> i then acc + v else acc)
+      rights 0
+  in
+  received - given - Consumed.find i consumed
+
+(* Only diagonal entries mint value: off-diagonal entries move existing
+   rights between replicas. *)
+let value ((rights, consumed) : t) =
+  Rights.fold (fun (s, d) v acc -> if s = d then acc + v else acc) rights 0
+  - Consumed.fold (fun _ v acc -> acc + v) consumed 0
+
+let mutate op i ((rights, consumed) as x : t) : t =
+  let i = Replica_id.to_int i in
+  match op with
+  | Inc n ->
+      if n < 1 then invalid_arg "Bounded_counter.inc: amount must be >= 1";
+      (Rights.set (i, i) (Rights.find (i, i) rights + n) rights, consumed)
+  | Dec n ->
+      if n < 1 then invalid_arg "Bounded_counter.dec: amount must be >= 1";
+      if local_rights i x < n then x
+      else (rights, Consumed.set i (Consumed.find i consumed + n) consumed)
+  | Transfer { amount; target } ->
+      let j = Replica_id.to_int target in
+      if amount < 1 then
+        invalid_arg "Bounded_counter.transfer: amount must be >= 1";
+      if local_rights i x < amount || j = i then x
+      else
+        ( Rights.set (i, j) (Rights.find (i, j) rights + amount) rights,
+          consumed )
+
+let delta_mutate op i x =
+  let rights, consumed = x in
+  let i' = Replica_id.to_int i in
+  match op with
+  | Inc n ->
+      if n < 1 then invalid_arg "Bounded_counter.inc: amount must be >= 1";
+      (Rights.singleton (i', i') (Rights.find (i', i') rights + n),
+       Consumed.bottom)
+  | Dec n ->
+      if n < 1 then invalid_arg "Bounded_counter.dec: amount must be >= 1";
+      if local_rights i' x < n then bottom
+      else
+        ( Rights.bottom,
+          Consumed.singleton i' (Consumed.find i' consumed + n) )
+  | Transfer { amount; target } ->
+      let j = Replica_id.to_int target in
+      if amount < 1 then
+        invalid_arg "Bounded_counter.transfer: amount must be >= 1";
+      if local_rights i' x < amount || j = i' then bottom
+      else
+        ( Rights.singleton (i', j) (Rights.find (i', j) rights + amount),
+          Consumed.bottom )
+
+let op_weight = function Inc _ | Dec _ | Transfer _ -> 1
+let op_byte_size = function
+  | Inc _ | Dec _ -> 8
+  | Transfer _ -> 8 + Replica_id.id_bytes
+
+let pp_op ppf = function
+  | Inc n -> Format.fprintf ppf "inc(%d)" n
+  | Dec n -> Format.fprintf ppf "dec(%d)" n
+  | Transfer { amount; target } ->
+      Format.fprintf ppf "transfer(%d→%a)" amount Replica_id.pp target
+
+let inc ?(n = 1) i x = mutate (Inc n) i x
+let dec ?(n = 1) i x = mutate (Dec n) i x
+let transfer ~amount ~target i x = mutate (Transfer { amount; target }) i x
+
+(** [rights_of i x] is the number of decrements replica [i] can still
+    perform locally. *)
+let rights_of i x = local_rights (Replica_id.to_int i) x

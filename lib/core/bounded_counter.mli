@@ -1,0 +1,30 @@
+(** Bounded counter: a counter that never goes below zero, built from
+    grow-only map compositions (Balegas et al.).
+
+    Rights to decrement are minted by increments, move between replicas
+    via transfers, and are spent by decrements; a replica can only spend
+    rights it holds locally, which enforces the global non-negativity
+    invariant without coordination.
+
+    [Dec]/[Transfer] decide against the local state (no-ops when rights
+    are insufficient), so replicate this type by shipping state or deltas
+    — not raw operations. *)
+
+type op =
+  | Inc of int  (** produce [n] new rights locally. *)
+  | Dec of int  (** consume [n] rights; no-op when insufficient. *)
+  | Transfer of { amount : int; target : Replica_id.t }
+      (** move rights to another replica; no-op when insufficient or when
+          the target is the caller. *)
+
+include Lattice_intf.CRDT with type op := op
+
+val inc : ?n:int -> Replica_id.t -> t -> t
+val dec : ?n:int -> Replica_id.t -> t -> t
+val transfer : amount:int -> target:Replica_id.t -> Replica_id.t -> t -> t
+
+val value : t -> int
+(** Rights minted minus rights consumed; never negative. *)
+
+val rights_of : Replica_id.t -> t -> int
+(** Decrements the replica can still perform locally. *)

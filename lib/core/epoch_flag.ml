@@ -1,0 +1,36 @@
+(** A replicated boolean flag built from a lexicographic pair
+    [Lexico(ℕ, Bool_or)].
+
+    [enable] sets the boolean within the current epoch (enable-wins among
+    concurrent operations of the same epoch, since booleans join with
+    [or]); [disable] advances the epoch with the flag cleared, dominating
+    every earlier enable (disable-wins across epochs).  A compact
+    demonstration of the single-writer lexicographic composition of
+    Appendix B that needs no causal context. *)
+
+module L = Lexico.Make (Chain.Max_int) (Chain.Bool_or)
+include L
+
+type op = Enable | Disable
+
+let mutate op _i ((epoch, flag) : t) : t =
+  match op with
+  | Enable -> (epoch, true)
+  | Disable -> if flag then (epoch + 1, false) else (epoch, flag)
+
+let delta_mutate op i x =
+  let next = mutate op i x in
+  if equal next x then bottom else next
+
+let op_weight _ = 1
+let op_byte_size _ = 9
+
+let pp_op ppf = function
+  | Enable -> Format.pp_print_string ppf "enable"
+  | Disable -> Format.pp_print_string ppf "disable"
+
+let enable i x = mutate Enable i x
+let disable i x = mutate Disable i x
+
+(** [value x] is the flag's current reading. *)
+let value ((_, flag) : t) : bool = flag

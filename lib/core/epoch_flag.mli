@@ -1,0 +1,11 @@
+(** A replicated boolean flag built from [Lexico(ℕ, Bool_or)]:
+    enable-wins among concurrent operations within an epoch, disable-wins
+    across epochs (a disable advances the epoch with the flag cleared). *)
+
+type op = Enable | Disable
+
+include Lattice_intf.CRDT with type t = int * bool and type op := op
+
+val enable : Replica_id.t -> t -> t
+val disable : Replica_id.t -> t -> t
+val value : t -> bool

@@ -1,0 +1,43 @@
+(** Grow-only counter (Fig. 2a): [GCounter = I ↪→ ℕ].
+
+    Each replica tracks its own increments in its map entry; the counter
+    value is the sum of all entries.  Join takes the pointwise maximum.
+    The δ-mutator returns only the updated entry, which is exactly the
+    optimal delta [Δ(inc(p), p)] (the entry is join-irreducible and not
+    below the previous state). *)
+
+module M = Map_lattice.Make (Replica_id) (Chain.Max_int)
+include M
+
+type op = Inc of int  (** [Inc n]: add [n ≥ 1] to the counter. *)
+
+(* Increments by replica [i] only touch entry [p(i)], so both mutators are
+   O(log |dom p|). *)
+let apply_inc n i p =
+  if n < 1 then invalid_arg "Gcounter.inc: increment must be >= 1";
+  let current = find i p in
+  (current + n, p)
+
+let mutate op i p =
+  match op with
+  | Inc n ->
+      let updated, p = apply_inc n i p in
+      set i updated p
+
+let delta_mutate op i p =
+  match op with
+  | Inc n ->
+      let updated, _ = apply_inc n i p in
+      singleton i updated
+
+let op_weight (Inc _) = 1
+let op_byte_size (Inc _) = 8
+let pp_op ppf (Inc n) = Format.fprintf ppf "inc(%d)" n
+
+(** Convenience mutators used by examples. *)
+let inc ?(n = 1) i p = mutate (Inc n) i p
+
+let inc_delta ?(n = 1) i p = delta_mutate (Inc n) i p
+
+(** [value p] is the counter's value: the sum of all entries. *)
+let value p = fold (fun _ v acc -> acc + v) p 0

@@ -1,0 +1,33 @@
+(** Grow-only counter (Fig. 2a): [GCounter = I ↪→ ℕ].
+
+    Each replica tracks its own increments in its map entry; the counter
+    value is the sum of all entries; join takes the pointwise maximum.
+    The δ-mutator returns only the updated entry — the optimal delta
+    [Δ(inc(p), p)]. *)
+
+type op = Inc of int  (** [Inc n]: add [n ≥ 1] to the counter. *)
+
+include Lattice_intf.CRDT with type op := op
+
+val empty : t
+
+val value : t -> int
+(** Sum of all per-replica entries. *)
+
+val inc : ?n:int -> Replica_id.t -> t -> t
+(** Classic mutator; [n] defaults to 1.
+    @raise Invalid_argument when [n < 1]. *)
+
+val inc_delta : ?n:int -> Replica_id.t -> t -> t
+(** Optimal δ-mutator: the singleton map holding the updated entry. *)
+
+val find : Replica_id.t -> t -> int
+(** Per-replica entry; 0 when absent. *)
+
+val of_list : (Replica_id.t * int) list -> t
+(** Build a state from entries (later bindings win); entries of value 0
+    are dropped. *)
+
+val cardinal : t -> int
+val bindings : t -> (Replica_id.t * int) list
+val fold : (Replica_id.t -> int -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,69 @@
+(** Grow-only map of CRDTs: [GMap⟨K, V⟩ = K ↪→ V] for any embedded CRDT
+    [V].
+
+    Keys are never removed; updating a key inflates that key's value
+    lattice.  Deltas localize naturally: the optimal delta of a key update
+    is the singleton map carrying the embedded value's optimal delta, so
+    δ-mutator optimality composes through the map (Appendix C's [↪→]
+    rule). *)
+
+module Make (K : Map_lattice.KEY) (V : Lattice_intf.CRDT) : sig
+  type op = Apply of K.t * V.op
+      (** [Apply (k, vop)] runs [vop] on the value stored under [k]
+          (starting from [V.bottom] when the key is absent). *)
+
+  include Lattice_intf.CRDT with type op := op
+
+  val empty : t
+  val find : K.t -> t -> V.t
+  val mem : K.t -> t -> bool
+  val cardinal : t -> int
+  val bindings : t -> (K.t * V.t) list
+  val keys : t -> K.t list
+  val of_list : (K.t * V.t) list -> t
+  val singleton : K.t -> V.t -> t
+  val apply : K.t -> V.op -> Replica_id.t -> t -> t
+  val apply_delta : K.t -> V.op -> Replica_id.t -> t -> t
+end = struct
+  module M = Map_lattice.Make (K) (V)
+  include M
+
+  type op = Apply of K.t * V.op
+
+  let mutate (Apply (k, vop)) i m = set k (V.mutate vop i (find k m)) m
+
+  let delta_mutate (Apply (k, vop)) i m =
+    singleton k (V.delta_mutate vop i (find k m))
+
+  let op_weight (Apply (_, vop)) = V.op_weight vop
+  let op_byte_size (Apply (k, vop)) = K.byte_size k + V.op_byte_size vop
+
+  let pp_op ppf (Apply (k, vop)) =
+    Format.fprintf ppf "@[<1>%a.%a@]" K.pp k V.pp_op vop
+
+  let mem k m = not (V.is_bottom (find k m))
+  let apply k vop i m = mutate (Apply (k, vop)) i m
+  let apply_delta k vop i m = delta_mutate (Apply (k, vop)) i m
+end
+
+(** Integer keys, accounted at 8 bytes. *)
+module Int_key = struct
+  type t = int
+
+  let compare = Int.compare
+  let byte_size _ = 8
+  let pp ppf = Format.fprintf ppf "%d"
+end
+
+(** String keys, accounted at their length. *)
+module String_key = struct
+  type t = string
+
+  let compare = String.compare
+  let byte_size = String.length
+  let pp ppf = Format.fprintf ppf "%S"
+end
+
+(** The GMap K% micro-benchmark instance (Table I): integer keys mapped to
+    a growing version number; each "key update" bumps the key's version. *)
+module Versioned = Make (Int_key) (Version)

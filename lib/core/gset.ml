@@ -1,0 +1,62 @@
+(** Grow-only set (Fig. 2b): [GSet⟨E⟩ = P(E)].
+
+    [delta_mutate] is the paper's optimal δ-mutator: it returns the
+    singleton only when the element is new, and [⊥] otherwise.  The naive
+    δ-mutator of the original delta-CRDT paper [13] — which always returns
+    the singleton — is kept as {!add_delta_naive} so benches can ablate the
+    effect of δ-mutator optimality (Section III-B). *)
+
+module Make (E : Powerset.ELT) : sig
+  include Lattice_intf.CRDT with type op = E.t
+
+  val empty : t
+  val add : E.t -> Replica_id.t -> t -> t
+  val add_delta : E.t -> t -> t
+
+  val add_delta_naive : E.t -> t -> t
+  (** The non-optimal δ-mutator from [13]: always [{e}], even when
+      [e ∈ s]. *)
+
+  val mem : E.t -> t -> bool
+  val elements : t -> E.t list
+  val cardinal : t -> int
+  val of_list : E.t list -> t
+  val singleton_of : E.t -> t
+end = struct
+  module P = Powerset.Make (E)
+  include P
+
+  type op = E.t
+
+  let mutate e _i s = P.add e s
+  let delta_mutate e _i s = if P.mem e s then P.bottom else P.singleton e
+  let op_weight _ = 1
+  let op_byte_size = E.byte_size
+  let pp_op = E.pp
+
+  let add e i s = mutate e i s
+  let add_delta e s = delta_mutate e (Replica_id.of_int 0) s
+  let add_delta_naive e _s = P.singleton e
+  let singleton_of = P.singleton
+  let mem = P.mem
+  let elements = P.elements
+  let cardinal = P.cardinal
+  let of_list = P.of_list
+  let empty = P.empty
+end
+
+(** Ready-made instances used by benchmarks and examples. *)
+module Of_int = Make (Powerset.Int_elt)
+
+module Of_string = Make (Powerset.String_elt)
+
+(** Ablation instance (Section III-B): identical to {!Of_int} except that
+    its δ-mutator is the {e naive} one from the original delta-CRDT paper
+    [13], which returns the singleton even for elements already present.
+    Used by the benchmark harness to quantify what δ-mutator optimality
+    alone contributes. *)
+module Naive_of_int = struct
+  include Of_int
+
+  let delta_mutate e _i _s = singleton_of e
+end

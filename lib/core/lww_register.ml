@@ -1,0 +1,31 @@
+(** Last-writer-wins register: [Lexico(ℕ, Max_string)].
+
+    The lexicographic product with a chain first component is the paper's
+    canonical single-writer construction (Appendix B): a write bumps the
+    version (first component) and replaces the payload (second component);
+    concurrent writes with equal versions tie-break deterministically by
+    the payload's total order.  States are join-irreducible, so a write's
+    optimal delta is the whole (tiny) pair. *)
+
+module L = Lexico.Make (Chain.Max_int) (Chain.Max_string)
+include L
+
+type op = Write of string
+
+let mutate (Write s) _i (t, _v) = (t + 1, s)
+
+let delta_mutate op i x =
+  (* ⇓⟨t+1, s⟩ = {⟨t+1, s⟩} and it never sits below ⟨t, v⟩. *)
+  mutate op i x
+
+let op_weight (Write _) = 1
+let op_byte_size (Write s) = 8 + String.length s
+let pp_op ppf (Write s) = Format.fprintf ppf "write(%S)" s
+
+let write s i x = mutate (Write s) i x
+
+(** [value x] is the currently visible payload. *)
+let value ((_, v) : t) : string = v
+
+(** [timestamp x] is the register's version. *)
+let timestamp ((t, _) : t) : int = t

@@ -1,0 +1,18 @@
+(** Last-writer-wins register: [Lexico(ℕ, Max_string)] — the canonical
+    single-writer lexicographic construction of Appendix B.
+
+    A write bumps the version and replaces the payload; concurrent writes
+    with equal versions tie-break deterministically by the payload's
+    total order. *)
+
+type op = Write of string
+
+include Lattice_intf.CRDT with type t = int * string and type op := op
+
+val write : string -> Replica_id.t -> t -> t
+
+val value : t -> string
+(** The currently visible payload. *)
+
+val timestamp : t -> int
+(** The register's version. *)

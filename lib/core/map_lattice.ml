@@ -1,0 +1,93 @@
+(** Finite-function composition [U ↪→ A]: maps from an unordered key set
+    to a lattice, absent keys standing for [⊥].
+
+    This is the lattice underlying GCounter ([I ↪→ ℕ]), GMap and the
+    PNCounter of Appendix C.  Join is pointwise; the order is pointwise;
+    decomposition (Appendix C) is
+    [⇓f = { {k ↦ v} | k ∈ dom f ∧ v ∈ ⇓f(k) }].
+
+    Invariant: no key is ever bound to [⊥] (such a binding is
+    indistinguishable from absence and would break [equal]/[weight]). *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val byte_size : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (K : KEY) (V : Lattice_intf.DECOMPOSABLE) : sig
+  include Lattice_intf.DECOMPOSABLE
+
+  val empty : t
+
+  val find : K.t -> t -> V.t
+  (** Total lookup: absent keys map to [V.bottom]. *)
+
+  val singleton : K.t -> V.t -> t
+  (** [singleton k v]; returns [bottom] when [v] is [⊥]. *)
+
+  val set : K.t -> V.t -> t -> t
+  (** [set k v m] replaces the binding of [k] (removing it if [v = ⊥]).
+      Unlike {!join}, this is not necessarily an inflation; mutators must
+      guarantee inflation themselves. *)
+
+  val join_entry : K.t -> V.t -> t -> t
+  (** [join_entry k v m = join m (singleton k v)]. *)
+
+  val cardinal : t -> int
+  val bindings : t -> (K.t * V.t) list
+  val keys : t -> K.t list
+  val fold : (K.t -> V.t -> 'a -> 'a) -> t -> 'a -> 'a
+  val of_list : (K.t * V.t) list -> t
+end = struct
+  module M = Map.Make (K)
+
+  type t = V.t M.t
+
+  let bottom = M.empty
+  let is_bottom = M.is_empty
+
+  let join m1 m2 =
+    M.union (fun _k v1 v2 -> Some (V.join v1 v2)) m1 m2
+
+  let find k m = match M.find_opt k m with Some v -> v | None -> V.bottom
+
+  let leq m1 m2 = M.for_all (fun k v -> V.leq v (find k m2)) m1
+  let equal = M.equal V.equal
+  let compare = M.compare V.compare
+  let weight m = M.fold (fun _ v acc -> acc + V.weight v) m 0
+
+  let byte_size m =
+    M.fold (fun k v acc -> acc + K.byte_size k + V.byte_size v) m 0
+
+  let decompose m =
+    M.fold
+      (fun k v acc ->
+        List.fold_left
+          (fun acc d -> M.singleton k d :: acc)
+          acc (V.decompose v))
+      m []
+
+  let pp ppf m =
+    let pp_binding ppf (k, v) =
+      Format.fprintf ppf "@[<1>%a ↦@ %a@]" K.pp k V.pp v
+    in
+    Format.fprintf ppf "@[<1>{%a}@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         pp_binding)
+      (M.bindings m)
+
+  let empty = M.empty
+  let singleton k v = if V.is_bottom v then M.empty else M.singleton k v
+
+  let set k v m = if V.is_bottom v then M.remove k m else M.add k v m
+  let join_entry k v m = join m (singleton k v)
+  let cardinal = M.cardinal
+  let bindings = M.bindings
+  let keys m = List.map fst (M.bindings m)
+  let fold = M.fold
+  let of_list l = List.fold_left (fun m (k, v) -> set k v m) M.empty l
+end

@@ -1,0 +1,86 @@
+(** Multi-value register over the antichain composition [M(P)].
+
+    Each write is tagged with a version vector that dominates every write
+    it has seen; the register state is the antichain of maximal
+    (vector, value) pairs, so concurrent writes are all retained and a
+    subsequent write subsumes them.  This is the classic MV-register
+    expressed with the paper's [M(P)] composition (Tables III/IV);
+    decomposition is by singletons, and a write's optimal delta is the
+    singleton antichain holding just the new tagged value. *)
+
+module Version_vector = struct
+  module M = Replica_id.Map
+
+  type t = int M.t
+
+  let empty : t = M.empty
+  let get i (v : t) = match M.find_opt i v with Some n -> n | None -> 0
+
+  let leq (a : t) (b : t) = M.for_all (fun i n -> n <= get i b) a
+  let equal (a : t) (b : t) = leq a b && leq b a
+  let merge (a : t) (b : t) : t = M.union (fun _ x y -> Some (max x y)) a b
+  let incr i (v : t) : t = M.add i (get i v + 1) v
+  let compare (a : t) (b : t) = M.compare Int.compare a b
+  let cardinal (v : t) = M.cardinal v
+
+  let byte_size (v : t) = M.cardinal v * (Replica_id.id_bytes + 8)
+
+  let pp ppf (v : t) =
+    Format.fprintf ppf "@[<1>[%a]@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+         (fun ppf (i, n) -> Format.fprintf ppf "%a:%d" Replica_id.pp i n))
+      (M.bindings v)
+end
+
+(** Tagged write: a payload with the version vector of its causal past. *)
+module Tagged = struct
+  type t = { vv : Version_vector.t; value : string }
+
+  let leq a b =
+    Version_vector.leq a.vv b.vv
+    && ((not (Version_vector.equal a.vv b.vv))
+       || String.compare a.value b.value <= 0)
+
+  let compare a b =
+    match Version_vector.compare a.vv b.vv with
+    | 0 -> String.compare a.value b.value
+    | c -> c
+
+  let weight _ = 1
+  let byte_size t = Version_vector.byte_size t.vv + String.length t.value
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<1>%a@%a@]" Format.pp_print_string t.value
+      Version_vector.pp t.vv
+end
+
+module A = Antichain.Make (Tagged)
+include A
+
+type op = Write of string
+
+(* A write dominates everything currently in the register: its vector is
+   the merge of all visible vectors with the writer's entry bumped. *)
+let next_vector i reg =
+  let seen =
+    List.fold_left
+      (fun acc (t : Tagged.t) -> Version_vector.merge acc t.vv)
+      Version_vector.empty (elements reg)
+  in
+  Version_vector.incr i seen
+
+let mutate (Write s) i reg =
+  insert { Tagged.vv = next_vector i reg; value = s } reg
+
+let delta_mutate (Write s) i reg =
+  of_list [ { Tagged.vv = next_vector i reg; value = s } ]
+
+let op_weight (Write _) = 1
+let op_byte_size (Write s) = String.length s
+let pp_op ppf (Write s) = Format.fprintf ppf "write(%S)" s
+
+let write s i reg = mutate (Write s) i reg
+
+(** [values reg] lists the currently concurrent payloads. *)
+let values reg = List.map (fun (t : Tagged.t) -> t.Tagged.value) (elements reg)

@@ -1,0 +1,46 @@
+(** Positive-negative counter: [PNCounter = I ↪→ (ℕ × ℕ)] (Appendix C's
+    worked example).
+
+    Each replica entry is a pair (increments, decrements); the value is
+    the difference of the sums.  The decomposition splits each entry into
+    its two components:
+    [⇓{A↦⟨2,3⟩} = {{A↦⟨2,0⟩}, {A↦⟨0,3⟩}}], exactly as in the paper. *)
+
+module Entry = Product.Make (Chain.Max_int) (Chain.Max_int)
+module M = Map_lattice.Make (Replica_id) (Entry)
+include M
+
+type op = Inc of int | Dec of int
+
+let mutate op i p =
+  let incs, decs = find i p in
+  match op with
+  | Inc n ->
+      if n < 1 then invalid_arg "Pncounter.inc: increment must be >= 1";
+      set i (incs + n, decs) p
+  | Dec n ->
+      if n < 1 then invalid_arg "Pncounter.dec: decrement must be >= 1";
+      set i (incs, decs + n) p
+
+let delta_mutate op i p =
+  let incs, decs = find i p in
+  match op with
+  | Inc n ->
+      if n < 1 then invalid_arg "Pncounter.inc: increment must be >= 1";
+      singleton i (incs + n, 0)
+  | Dec n ->
+      if n < 1 then invalid_arg "Pncounter.dec: decrement must be >= 1";
+      singleton i (0, decs + n)
+
+let op_weight = function Inc _ | Dec _ -> 1
+let op_byte_size = function Inc _ | Dec _ -> 8
+
+let pp_op ppf = function
+  | Inc n -> Format.fprintf ppf "inc(%d)" n
+  | Dec n -> Format.fprintf ppf "dec(%d)" n
+
+let inc ?(n = 1) i p = mutate (Inc n) i p
+let dec ?(n = 1) i p = mutate (Dec n) i p
+
+(** [value p] = total increments − total decrements. *)
+let value p = fold (fun _ (up, down) acc -> acc + up - down) p 0

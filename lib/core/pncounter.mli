@@ -1,0 +1,27 @@
+(** Positive-negative counter: [PNCounter = I ↪→ (ℕ × ℕ)] — Appendix C's
+    worked decomposition example.
+
+    Each entry is a pair (increments, decrements); the value is the
+    difference of the sums; the decomposition splits every entry into its
+    two components. *)
+
+type op = Inc of int | Dec of int
+
+include Lattice_intf.CRDT with type op := op
+
+val empty : t
+
+val value : t -> int
+(** Total increments − total decrements (may be negative). *)
+
+val inc : ?n:int -> Replica_id.t -> t -> t
+(** @raise Invalid_argument when [n < 1]. *)
+
+val dec : ?n:int -> Replica_id.t -> t -> t
+(** @raise Invalid_argument when [n < 1]. *)
+
+val find : Replica_id.t -> t -> int * int
+(** Per-replica (increments, decrements); (0, 0) when absent. *)
+
+val of_list : (Replica_id.t * (int * int)) list -> t
+val bindings : t -> (Replica_id.t * (int * int)) list

@@ -1,0 +1,28 @@
+(** Replica identifiers.
+
+    The paper models replica identifiers as an abstract set [I]; this
+    implementation uses non-negative integers.  A serialized identifier
+    is accounted as 20 bytes on the wire, matching the convention of the
+    paper's metadata experiment (Fig. 9). *)
+
+type t = int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val id_bytes : int
+(** Wire size of one identifier: 20 bytes (Fig. 9). *)
+
+val byte_size : t -> int
+(** [byte_size _ = id_bytes]; shaped as a function for use as a map
+    key module. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = int
+module Set : Set.S with type elt = int

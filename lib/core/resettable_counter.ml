@@ -1,0 +1,47 @@
+(** Resettable counter: [Lexico(ℕ, GCounter)].
+
+    Appendix B singles out the lexicographic product with a chain first
+    component as the idiom behind Cassandra's counters [37]: an "owner"
+    version number guards an inner state that can either be inflated or
+    replaced wholesale while bumping the version.  Here the inner state is
+    a GCounter and [Reset] replaces it with ⊥ in a fresh epoch:
+
+    - increments inflate the current epoch's counter;
+    - a reset wins over all increments of epochs it has observed (and
+      over concurrent increments to those epochs — the usual reset-wins
+      small print of resettable counters).
+
+    Being a lexicographic composition of decomposable parts, it inherits
+    optimal deltas: an increment's delta is the single updated entry
+    tagged with the epoch. *)
+
+module L = Lexico.Make (Chain.Max_int) (Gcounter)
+include L
+
+type op = Inc of int | Reset
+
+let mutate op i ((epoch, p) : t) : t =
+  match op with
+  | Inc n -> (epoch, Gcounter.mutate (Gcounter.Inc n) i p)
+  | Reset -> (epoch + 1, Gcounter.bottom)
+
+let delta_mutate op i ((epoch, p) : t) : t =
+  match op with
+  | Inc n -> (epoch, Gcounter.delta_mutate (Gcounter.Inc n) i p)
+  | Reset -> (epoch + 1, Gcounter.bottom)
+
+let op_weight = function Inc _ | Reset -> 1
+let op_byte_size = function Inc _ -> 8 | Reset -> 1
+
+let pp_op ppf = function
+  | Inc n -> Format.fprintf ppf "inc(%d)" n
+  | Reset -> Format.pp_print_string ppf "reset"
+
+let inc ?(n = 1) i x = mutate (Inc n) i x
+let reset i x = mutate Reset i x
+
+(** [value x] is the sum of increments since the last reset. *)
+let value ((_, p) : t) = Gcounter.value p
+
+(** [epoch x] counts how many resets the state has absorbed. *)
+let epoch ((e, _) : t) = e

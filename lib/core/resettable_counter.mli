@@ -1,0 +1,21 @@
+(** Resettable counter: [Lexico(ℕ, GCounter)] — the Cassandra-counter
+    idiom of Appendix B [37].
+
+    Increments inflate the current epoch's grow-only counter; a reset
+    opens a fresh epoch with a cleared counter and wins over the
+    increments it has observed (and over concurrent increments to those
+    epochs). *)
+
+type op = Inc of int | Reset
+
+include
+  Lattice_intf.CRDT with type t = int * Gcounter.t and type op := op
+
+val inc : ?n:int -> Replica_id.t -> t -> t
+val reset : Replica_id.t -> t -> t
+
+val value : t -> int
+(** Sum of increments since the last reset. *)
+
+val epoch : t -> int
+(** Number of resets the state has absorbed. *)

@@ -1,0 +1,54 @@
+(** Two-phase set: [2PSet⟨E⟩ = P(E) × P(E)] (added set, removed set).
+
+    Removal wins over addition; removed elements can never be re-added —
+    both sides only grow, so the state is a product of two grow-only
+    powersets and inherits their decomposition. *)
+
+module Make (E : Powerset.ELT) : sig
+  type elt = E.t
+  type op = Add of elt | Remove of elt
+
+  include Lattice_intf.CRDT with type op := op
+
+  val add : elt -> Replica_id.t -> t -> t
+  val remove : elt -> Replica_id.t -> t -> t
+  val mem : elt -> t -> bool
+  val value : t -> elt list
+  (** Live elements: added and not removed. *)
+end = struct
+  module P = Powerset.Make (E)
+  module Pair = Product.Make (P) (P)
+  include Pair
+
+  type elt = E.t
+  type op = Add of elt | Remove of elt
+
+  let mutate op _i (added, removed) =
+    match op with
+    | Add e -> (P.add e added, removed)
+    | Remove e ->
+        (* Removing an element that was never added is recorded too:
+           2P-set semantics forbid a later add from resurrecting it. *)
+        (added, P.add e removed)
+
+  let delta_mutate op _i (added, removed) =
+    match op with
+    | Add e ->
+        if P.mem e added then bottom else (P.singleton e, P.bottom)
+    | Remove e ->
+        if P.mem e removed then bottom else (P.bottom, P.singleton e)
+
+  let op_weight _ = 1
+  let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
+
+  let pp_op ppf = function
+    | Add e -> Format.fprintf ppf "add(%a)" E.pp e
+    | Remove e -> Format.fprintf ppf "remove(%a)" E.pp e
+
+  let add e i s = mutate (Add e) i s
+  let remove e i s = mutate (Remove e) i s
+  let mem e (added, removed) = P.mem e added && not (P.mem e removed)
+
+  let value (added, removed) =
+    List.filter (fun e -> not (P.mem e removed)) (P.elements added)
+end

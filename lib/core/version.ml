@@ -1,0 +1,29 @@
+(** A single monotonically growing version number as a CRDT.
+
+    This is the value lattice used by the GMap K% micro-benchmark
+    (Table I): "changing the value of a key" inflates the key's entry, and
+    the measurement metric counts map entries, so a [max]-chain version per
+    key reproduces the workload faithfully. *)
+
+include Chain.Max_int
+
+type op =
+  | Bump  (** Advance the version by one. *)
+  | Raise_to of int
+      (** Inflate to at least the given value (no-op if already there). *)
+
+let mutate op _i v =
+  match op with Bump -> v + 1 | Raise_to n -> max v n
+
+let delta_mutate op i v =
+  let next = mutate op i v in
+  if next = v then bottom else next
+
+let op_weight _ = 1
+let op_byte_size _ = 8
+
+let pp_op ppf = function
+  | Bump -> Format.pp_print_string ppf "bump"
+  | Raise_to n -> Format.fprintf ppf "raise_to(%d)" n
+
+let value (v : t) : int = v

@@ -1,0 +1,10 @@
+(** A single monotonically growing version number as a CRDT — the value
+    lattice of the GMap K% micro-benchmark (Table I). *)
+
+type op =
+  | Bump  (** Advance the version by one. *)
+  | Raise_to of int  (** Inflate to at least the given value. *)
+
+include Lattice_intf.CRDT with type t = int and type op := op
+
+val value : t -> int

@@ -1,0 +1,218 @@
+(** Delta-based synchronization — Algorithm 1 of the paper, covering both
+    columns: the classic algorithm of Almeida et al. [13,14] and the
+    improved version with the BP and RR optimizations.
+
+    State per replica: the lattice state [xᵢ] and a δ-buffer [Bᵢ] of
+    δ-groups, each tagged with the identifier of the neighbor it came from
+    (or the replica itself for local mutations).
+
+    - {b Classic} (lines without highlight): [tick] joins the whole buffer
+      into one δ-group and sends it to every neighbor, then clears the
+      buffer; [handle d] stores [d] whenever [d ⋢ xᵢ].
+    - {b BP} (avoid back-propagation): [tick] filters out, for destination
+      [j], the buffer entries whose origin is [j] (line 11, right column).
+    - {b RR} (remove redundant state): [handle d] first extracts
+      [Δ(d, xᵢ)] — the part of the received δ-group that strictly inflates
+      the local state — and stores only that, if non-bottom (lines 15–16,
+      right column).
+
+    The paper assumes channels that may duplicate and reorder but not drop
+    messages, clearing the buffer after each synchronization step; both
+    behaviours are safe here because δ-groups are joined idempotently.
+    {!Make} additionally supports the footnote's ack-based variant for
+    lossy channels ([ack_mode]): buffer entries carry sequence numbers and
+    are only evicted once every neighbor acknowledged them. *)
+
+type config = { bp : bool; rr : bool; ack_mode : bool }
+
+let classic = { bp = false; rr = false; ack_mode = false }
+let bp_only = { bp = true; rr = false; ack_mode = false }
+let rr_only = { bp = false; rr = true; ack_mode = false }
+let bp_rr = { bp = true; rr = true; ack_mode = false }
+
+let config_name c =
+  match (c.bp, c.rr) with
+  | false, false -> "delta-classic"
+  | true, false -> "delta-bp"
+  | false, true -> "delta-rr"
+  | true, true -> "delta-bp+rr"
+
+module type CONFIG = sig
+  val config : config
+end
+
+module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
+  Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
+  module D = Crdt_core.Delta.Make (C)
+
+  type crdt = C.t
+  type op = C.op
+
+  type entry = {
+    delta : C.t;
+    origin : int;  (** neighbor the δ-group came from, or self. *)
+    seq : int;  (** sequence number, used only in ack mode. *)
+  }
+
+  type node = {
+    id : Crdt_core.Replica_id.t;
+    self : int;
+    neighbors : int list;
+    x : C.t;
+    buffer : entry list;  (** [Bᵢ], oldest first. *)
+    next_seq : int;
+    acked : Vclock.t;  (** ack mode: highest seq acked per neighbor. *)
+    work : int;
+  }
+
+  type message =
+    | Delta of { group : C.t; seq : int }
+    | Ack of { seq : int }
+
+  let protocol_name = config_name Cfg.config
+  let cfg = Cfg.config
+
+  let init ~id ~neighbors ~total:_ =
+    {
+      id = Crdt_core.Replica_id.of_int id;
+      self = id;
+      neighbors;
+      x = C.bottom;
+      buffer = [];
+      next_seq = 0;
+      acked = Vclock.empty;
+      work = 0;
+    }
+
+  (* fun store(s, o) — lines 18-20: join into the local state and append
+     to the δ-buffer tagged with its origin. *)
+  let store n delta origin =
+    {
+      n with
+      x = C.join n.x delta;
+      buffer = n.buffer @ [ { delta; origin; seq = n.next_seq } ];
+      next_seq = n.next_seq + 1;
+      work = n.work + C.weight delta;
+    }
+
+  let local_update n op =
+    let delta = C.delta_mutate op n.id n.x in
+    if C.is_bottom delta then n else store n delta n.self
+
+  (* δ-group for destination j: join of buffer entries, minus (under BP)
+     those that came from j, minus (in ack mode) those j already acked. *)
+  let group_for n j =
+    List.fold_left
+      (fun acc e ->
+        if cfg.bp && e.origin = j then acc
+        else if cfg.ack_mode && e.seq < Vclock.get j n.acked then acc
+        else C.join acc e.delta)
+      C.bottom n.buffer
+
+  let tick n =
+    let msgs =
+      List.filter_map
+        (fun j ->
+          let g = group_for n j in
+          if C.is_bottom g then None
+          else Some (j, Delta { group = g; seq = n.next_seq }))
+        n.neighbors
+    in
+    let cost =
+      List.fold_left
+        (fun acc (_, m) ->
+          match m with Delta { group; _ } -> acc + C.weight group | Ack _ -> acc)
+        0 msgs
+    in
+    let buffer =
+      if cfg.ack_mode then
+        (* Keep entries until every neighbor that must receive them (under
+           BP, everyone but their origin) has acked past them. *)
+        List.filter
+          (fun e ->
+            List.exists
+              (fun j ->
+                (not (cfg.bp && e.origin = j))
+                && e.seq >= Vclock.get j n.acked)
+              n.neighbors)
+          n.buffer
+      else []
+    in
+    ({ n with buffer; work = n.work + cost }, msgs)
+
+  let handle n ~src d =
+    match d with
+    | Ack { seq } ->
+        let acked = Vclock.set src (max seq (Vclock.get src n.acked)) n.acked in
+        ({ n with acked }, [])
+    | Delta { group = d; seq } ->
+        let ack = if cfg.ack_mode then [ (src, Ack { seq }) ] else [] in
+        if cfg.rr then begin
+          (* d = Δ(d, xᵢ); if d ≠ ⊥ then store(d, src) — the extraction
+             pays one decomposition of the received group. *)
+          let extracted = D.delta d n.x in
+          let n = { n with work = n.work + C.weight d } in
+          if C.is_bottom extracted then (n, ack)
+          else (store n extracted src, ack)
+        end
+        else begin
+          (* classic: if d ⋢ xᵢ then store(d, src). *)
+          let n = { n with work = n.work + C.weight d } in
+          if C.leq d n.x then (n, ack) else (store n d src, ack)
+        end
+
+  let state n = n.x
+
+  let payload_weight = function
+    | Delta { group; _ } -> C.weight group
+    | Ack _ -> 0
+
+  (* Classic tags nothing; BP/ack tag each message with one sequence
+     number (the paper's "a sequence number per neighbor" metadata). *)
+  let tagged = cfg.bp || cfg.ack_mode
+
+  let metadata_weight = function
+    | Delta _ -> if tagged then 1 else 0
+    | Ack _ -> 1
+
+  let payload_bytes = function
+    | Delta { group; _ } -> C.byte_size group
+    | Ack _ -> 0
+
+  let metadata_bytes = function
+    | Delta _ -> if tagged then 8 else 0
+    | Ack _ -> 8
+
+  let memory_weight n =
+    C.weight n.x
+    + List.fold_left (fun acc e -> acc + C.weight e.delta) 0 n.buffer
+
+  let memory_bytes n =
+    C.byte_size n.x
+    + List.fold_left (fun acc e -> acc + C.byte_size e.delta) 0 n.buffer
+
+  (* Delta-based metadata: one sequence number per neighbor (Fig. 9). *)
+  let metadata_memory_bytes n = 8 * List.length n.neighbors
+  let work n = n.work
+end
+
+(** Pre-packaged configurations, one per curve in Figs. 7–8. *)
+module Classic_config = struct
+  let config = classic
+end
+
+module Bp_config = struct
+  let config = bp_only
+end
+
+module Rr_config = struct
+  let config = rr_only
+end
+
+module Bp_rr_config = struct
+  let config = bp_rr
+end
+
+module Ack_config = struct
+  let config = { bp_rr with ack_mode = true }
+end

@@ -1,0 +1,75 @@
+(** Common interface implemented by every synchronization protocol.
+
+    A protocol instance manages one replica (a {e node}) of one CRDT.  The
+    driver (simulator or real transport) is expected to:
+
+    - call {!PROTOCOL.local_update} whenever the application performs an
+      operation;
+    - call {!PROTOCOL.tick} once per synchronization interval, sending the
+      returned messages to the designated neighbors;
+    - call {!PROTOCOL.handle} on message receipt, sending any returned
+      replies.
+
+    Messages may be duplicated or reordered by the driver: every protocol
+    here tolerates both (state-based and delta-based by idempotent joins,
+    Scuttlebutt by versioned pairs, op-based by per-operation identifiers).
+
+    The accounting functions mirror the paper's measurements: weights
+    count lattice elements (the metric of Table I), byte sizes estimate
+    wire/memory footprint (Fig. 9, Fig. 11), and {!PROTOCOL.work} counts
+    deterministic CPU work units (elements touched by joins, ⊑ checks and
+    decompositions — the basis of Fig. 1-right and Fig. 12). *)
+
+module type PROTOCOL = sig
+  type crdt
+  type op
+  type node
+  type message
+
+  val protocol_name : string
+
+  val init : id:int -> neighbors:int list -> total:int -> node
+  (** Fresh replica [id] whose synchronization partners are [neighbors]
+      (ids used as message destinations); [total] is the number of
+      replicas in the system (needed by Scuttlebutt-GC's safe-delete
+      rule; other protocols ignore it). *)
+
+  val local_update : node -> op -> node
+  (** Apply an application-level operation at this replica. *)
+
+  val tick : node -> node * (int * message) list
+  (** One synchronization step: returns the messages (destination,
+      payload) to push to neighbors. *)
+
+  val handle : node -> src:int -> message -> node * (int * message) list
+  (** Process a received message; may produce immediate replies (used by
+      the digest/reply exchange of Scuttlebutt). *)
+
+  val state : node -> crdt
+  (** Current local lattice state [xᵢ]. *)
+
+  val payload_weight : message -> int
+  (** Lattice elements carried by the message (0 for pure digests). *)
+
+  val metadata_weight : message -> int
+  (** Metadata units carried (vector entries, version pairs, origin
+      tags). *)
+
+  val payload_bytes : message -> int
+  val metadata_bytes : message -> int
+
+  val memory_weight : node -> int
+  (** Elements resident at the node: CRDT state plus buffered deltas/ops
+      plus stored metadata entries (the metric of Fig. 10). *)
+
+  val memory_bytes : node -> int
+
+  val metadata_memory_bytes : node -> int
+  (** Bytes of synchronization metadata kept at the node (Fig. 9). *)
+
+  val work : node -> int
+  (** Cumulative work units spent producing and processing messages. *)
+end
+
+(** Convenience alias for what protocol functors consume. *)
+module type CRDT = Crdt_core.Lattice_intf.CRDT

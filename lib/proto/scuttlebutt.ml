@@ -1,0 +1,241 @@
+(** Scuttlebutt anti-entropy adapted to state-based CRDTs (Section V-B).
+
+    Following the paper's adaptation: the values stored in the Scuttlebutt
+    key-value store are the {e optimal deltas} produced by δ-mutators, and
+    the keys are version pairs [⟨i, s⟩ ∈ I × ℕ] (origin replica, local
+    sequence number).  Locally known updates are summarized by a vector
+    [I ↪→ ℕ]; each synchronization step pushes the summary vector to a
+    neighbor, which replies with every key-delta pair not covered by it.
+    Received pairs are stored (for further propagation — nodes are only
+    connected to a subset of the system) and their deltas joined into the
+    local CRDT.
+
+    - {b Scuttlebutt} (original): pairs are never deleted, so the store
+      grows without bound while updates keep arriving.
+    - {b Scuttlebutt-GC}: each node additionally gossips, inside its
+      digests, the map [I ↪→ (I ↪→ ℕ)] recording the latest summary
+      vector it has observed from {e every} node in the system; a pair
+      [⟨i, s⟩] is deleted once every node's recorded summary covers [s].
+      This is the paper's safe-delete variant with its quadratic metadata
+      cost (Fig. 9). *)
+
+module type CONFIG = sig
+  val gc : bool
+end
+
+module Gc_config = struct
+  let gc = true
+end
+
+module No_gc_config = struct
+  let gc = false
+end
+
+module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
+  Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
+  type crdt = C.t
+  type op = C.op
+
+  module Im = Map.Make (Int)
+
+  type node = {
+    id : Crdt_core.Replica_id.t;
+    self : int;
+    total : int;  (** number of replicas in the system (for GC). *)
+    neighbors : int list;
+    x : C.t;
+    store : C.t Im.t Im.t;  (** origin ↦ seq ↦ delta. *)
+    summary : Vclock.t;  (** highest contiguous seq known per origin. *)
+    knowledge : Vclock.t Im.t;
+        (** GC only: node ↦ last summary vector observed from it. *)
+    work : int;
+  }
+
+  type message =
+    | Digest of { summary : Vclock.t; knowledge : Vclock.t Im.t }
+    | Pairs of (int * int * C.t) list  (** (origin, seq, delta). *)
+
+  let protocol_name = if Cfg.gc then "scuttlebutt-gc" else "scuttlebutt"
+
+  (* The GC variant needs the system size to tell when everyone has seen
+     a pair: deletion only fires once summaries from all [total] nodes
+     cover it. *)
+  let init ~id ~neighbors ~total =
+    {
+      id = Crdt_core.Replica_id.of_int id;
+      self = id;
+      total;
+      neighbors;
+      x = C.bottom;
+      store = Im.empty;
+      summary = Vclock.empty;
+      knowledge = Im.empty;
+      work = 0;
+    }
+
+  let store_find origin seq store =
+    match Im.find_opt origin store with
+    | None -> None
+    | Some m -> Im.find_opt seq m
+
+  let store_add origin seq delta store =
+    let m =
+      match Im.find_opt origin store with Some m -> m | None -> Im.empty
+    in
+    Im.add origin (Im.add seq delta m) store
+
+  (* Summary counts the highest contiguous prefix per origin, so advance
+     it as far as consecutive sequence numbers are present. *)
+  let advance_summary origin store summary =
+    let m =
+      match Im.find_opt origin store with Some m -> m | None -> Im.empty
+    in
+    let rec go s = if Im.mem (s + 1) m then go (s + 1) else s in
+    Vclock.set origin (go (Vclock.get origin summary)) summary
+
+  let local_update n op =
+    let delta = C.delta_mutate op n.id n.x in
+    if C.is_bottom delta then n
+    else
+      let seq = Vclock.get n.self n.summary + 1 in
+      let store = store_add n.self seq delta n.store in
+      {
+        n with
+        x = C.join n.x delta;
+        store;
+        summary = advance_summary n.self store n.summary;
+        work = n.work + C.weight delta;
+      }
+
+  (* GC: a pair ⟨origin, seq⟩ may be deleted once the recorded summaries
+     of every known node cover seq — and we have heard from the whole
+     system. *)
+  let prune n =
+    if not Cfg.gc then n
+    else
+      let members = Im.cardinal n.knowledge in
+      if n.total = 0 || members < n.total then n
+      else
+        let covered origin seq =
+          Im.for_all (fun _ summary -> Vclock.get origin summary >= seq)
+            n.knowledge
+        in
+        let store =
+          Im.mapi
+            (fun origin m -> Im.filter (fun seq _ -> not (covered origin seq)) m)
+            n.store
+        in
+        { n with store }
+
+  let merge_knowledge n ~src summary knowledge =
+    if not Cfg.gc then n
+    else
+      let merge_one node vec acc =
+        let prev =
+          match Im.find_opt node acc with Some v -> v | None -> Vclock.empty
+        in
+        Im.add node (Vclock.merge prev vec) acc
+      in
+      let knowledge = Im.fold merge_one knowledge n.knowledge in
+      let knowledge = merge_one src summary knowledge in
+      let knowledge = merge_one n.self n.summary knowledge in
+      prune { n with knowledge }
+
+  let tick n =
+    let digest = Digest { summary = n.summary; knowledge = n.knowledge } in
+    let msgs = List.map (fun j -> (j, digest)) n.neighbors in
+    ({ n with work = n.work + (Vclock.cardinal n.summary * List.length msgs) },
+     msgs)
+
+  let missing_pairs n remote_summary =
+    Im.fold
+      (fun origin m acc ->
+        Im.fold
+          (fun seq delta acc ->
+            if seq > Vclock.get origin remote_summary then
+              (origin, seq, delta) :: acc
+            else acc)
+          m acc)
+      n.store []
+
+  let handle n ~src msg =
+    match msg with
+    | Digest { summary; knowledge } ->
+        let pairs = missing_pairs n summary in
+        let n = merge_knowledge n ~src summary knowledge in
+        let cost =
+          List.fold_left (fun acc (_, _, d) -> acc + C.weight d) 0 pairs
+        in
+        let n = { n with work = n.work + cost + Vclock.cardinal summary } in
+        if pairs = [] then (n, []) else (n, [ (src, Pairs pairs) ])
+    | Pairs pairs ->
+        let n =
+          List.fold_left
+            (fun n (origin, seq, delta) ->
+              if store_find origin seq n.store <> None then n
+              else
+                let store = store_add origin seq delta n.store in
+                {
+                  n with
+                  x = C.join n.x delta;
+                  store;
+                  summary = advance_summary origin store n.summary;
+                  work = n.work + C.weight delta;
+                })
+            n pairs
+        in
+        (prune n, [])
+
+  let state n = n.x
+
+  let payload_weight = function
+    | Digest _ -> 0
+    | Pairs pairs ->
+        List.fold_left (fun acc (_, _, d) -> acc + C.weight d) 0 pairs
+
+  let metadata_weight = function
+    | Digest { summary; knowledge } ->
+        Vclock.cardinal summary
+        + Im.fold (fun _ v acc -> acc + Vclock.cardinal v) knowledge 0
+    | Pairs pairs -> 2 * List.length pairs
+
+  let payload_bytes = function
+    | Digest _ -> 0
+    | Pairs pairs ->
+        List.fold_left (fun acc (_, _, d) -> acc + C.byte_size d) 0 pairs
+
+  let metadata_bytes = function
+    | Digest { summary; knowledge } ->
+        Vclock.byte_size summary
+        + Im.fold
+            (fun _ v acc ->
+              acc + Crdt_core.Replica_id.id_bytes + Vclock.byte_size v)
+            knowledge 0
+    | Pairs pairs -> List.length pairs * Vclock.entry_bytes
+
+  let stored_deltas n =
+    Im.fold
+      (fun _ m acc -> Im.fold (fun _ d acc -> C.weight d + acc) m acc)
+      n.store 0
+
+  let memory_weight n =
+    C.weight n.x + stored_deltas n + Vclock.cardinal n.summary
+    + Im.fold (fun _ v acc -> acc + Vclock.cardinal v) n.knowledge 0
+
+  let metadata_memory_bytes n =
+    Vclock.byte_size n.summary
+    + Im.fold
+        (fun _ v acc ->
+          acc + Crdt_core.Replica_id.id_bytes + Vclock.byte_size v)
+        n.knowledge 0
+
+  let memory_bytes n =
+    C.byte_size n.x
+    + Im.fold
+        (fun _ m acc ->
+          Im.fold (fun _ d acc -> acc + C.byte_size d + Vclock.entry_bytes) m acc)
+        n.store 0
+    + metadata_memory_bytes n
+
+  let work n = n.work
+end

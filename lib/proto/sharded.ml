@@ -1,0 +1,150 @@
+(** Per-object protocol composition.
+
+    The paper's Retwis deployment replicates ~30 K {e independent} CRDT
+    objects, each synchronized on its own (with its own δ-buffer and its
+    own inflation check); messages exchanged between two nodes bundle the
+    per-object payloads.  This combinator reproduces that: it lifts a
+    protocol over a single CRDT to a protocol over a keyed collection of
+    objects, creating per-object protocol instances lazily and batching
+    their messages per destination.
+
+    This matters for fidelity: with one big composed lattice, classic
+    delta-based is penalized even under low contention (any received
+    δ-group touching {e any} object fails the inflation check), whereas
+    with per-object replication the check is per object — which is exactly
+    why the paper observes classic ≈ BP+RR at Zipf 0.5 and a blow-up only
+    as contention concentrates updates on few objects. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val byte_size : t -> int
+end
+
+module Make
+    (K : KEY)
+    (C : Protocol_intf.CRDT)
+    (P : Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op) : sig
+  include
+    Protocol_intf.PROTOCOL
+      with type crdt = (K.t * C.t) list
+       and type op = K.t * C.op
+
+  val equal_states : crdt -> crdt -> bool
+  (** Equality of sharded states, for convergence checks: objects absent
+      on one side must be bottom on the other. *)
+end = struct
+  module Km = Map.Make (K)
+
+  type crdt = (K.t * C.t) list
+  (** Association of object key to object state, bottoms omitted. *)
+
+  type op = K.t * C.op
+
+  type node = {
+    id : int;
+    neighbors : int list;
+    total : int;
+    objects : P.node Km.t;
+  }
+
+  type message = (K.t * P.message) list
+
+  let protocol_name = "sharded-" ^ P.protocol_name
+
+  let init ~id ~neighbors ~total = { id; neighbors; total; objects = Km.empty }
+
+  let obj n k =
+    match Km.find_opt k n.objects with
+    | Some o -> o
+    | None -> P.init ~id:n.id ~neighbors:n.neighbors ~total:n.total
+
+  let local_update n (k, op) =
+    { n with objects = Km.add k (P.local_update (obj n k) op) n.objects }
+
+  (* Gather per-object outbound messages into one batch per
+     destination. *)
+  let batch_by_dest per_object =
+    let add acc (dest, tagged) =
+      let existing =
+        match List.assoc_opt dest acc with Some l -> l | None -> []
+      in
+      (dest, tagged :: existing) :: List.remove_assoc dest acc
+    in
+    List.fold_left add [] per_object
+    |> List.map (fun (dest, msgs) -> (dest, List.rev msgs))
+
+  let tick n =
+    let objects = ref n.objects in
+    let outbound = ref [] in
+    Km.iter
+      (fun k o ->
+        let o, msgs = P.tick o in
+        objects := Km.add k o !objects;
+        List.iter
+          (fun (dest, m) -> outbound := (dest, (k, m)) :: !outbound)
+          msgs)
+      n.objects;
+    ({ n with objects = !objects }, batch_by_dest (List.rev !outbound))
+
+  let handle n ~src batch =
+    let n, replies =
+      List.fold_left
+        (fun (n, replies) (k, m) ->
+          let o, rs = P.handle (obj n k) ~src m in
+          ( { n with objects = Km.add k o n.objects },
+            List.fold_left
+              (fun replies (dest, r) -> (dest, (k, r)) :: replies)
+              replies rs ))
+        (n, []) batch
+    in
+    (n, batch_by_dest (List.rev replies))
+
+  let state n =
+    Km.fold
+      (fun k o acc ->
+        let x = P.state o in
+        if C.is_bottom x then acc else (k, x) :: acc)
+      n.objects []
+    |> List.rev
+
+  let payload_weight batch =
+    List.fold_left (fun acc (_, m) -> acc + P.payload_weight m) 0 batch
+
+  let metadata_weight batch =
+    List.fold_left (fun acc (_, m) -> acc + P.metadata_weight m) 0 batch
+
+  let payload_bytes batch =
+    List.fold_left (fun acc (_, m) -> acc + P.payload_bytes m) 0 batch
+
+  (* Each bundled entry additionally carries its object key. *)
+  let metadata_bytes batch =
+    List.fold_left
+      (fun acc (k, m) -> acc + K.byte_size k + P.metadata_bytes m)
+      0 batch
+
+  let memory_weight n =
+    Km.fold (fun _ o acc -> acc + P.memory_weight o) n.objects 0
+
+  let memory_bytes n =
+    Km.fold (fun _ o acc -> acc + P.memory_bytes o) n.objects 0
+
+  let metadata_memory_bytes n =
+    Km.fold (fun _ o acc -> acc + P.metadata_memory_bytes o) n.objects 0
+
+  let work n = Km.fold (fun _ o acc -> acc + P.work o) n.objects 0
+
+  let equal_states (a : crdt) (b : crdt) =
+    let to_map l =
+      List.fold_left (fun m (k, x) -> Km.add k x m) Km.empty l
+    in
+    let ma = to_map a and mb = to_map b in
+    Km.merge
+      (fun _ x y ->
+        let x = Option.value x ~default:C.bottom
+        and y = Option.value y ~default:C.bottom in
+        if C.equal x y then None else Some ())
+      ma mb
+    |> Km.is_empty
+end

@@ -1,0 +1,48 @@
+(** State-based synchronization (Section II): each replica periodically
+    ships its {e full} lattice state to every neighbor, which joins it
+    into its own.
+
+    No synchronization metadata is kept (optimal memory, Fig. 10) but
+    transmission grows with the state. *)
+
+module Make (C : Protocol_intf.CRDT) :
+  Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
+  type crdt = C.t
+  type op = C.op
+
+  type node = {
+    id : Crdt_core.Replica_id.t;
+    neighbors : int list;
+    x : C.t;
+    work : int;
+  }
+
+  type message = C.t
+
+  let protocol_name = "state-based"
+
+  let init ~id ~neighbors ~total:_ =
+    { id = Crdt_core.Replica_id.of_int id; neighbors; x = C.bottom; work = 0 }
+
+  let local_update n op =
+    let x = C.mutate op n.id n.x in
+    { n with x; work = n.work + 1 }
+
+  let tick n =
+    let msgs = List.map (fun j -> (j, n.x)) n.neighbors in
+    let cost = C.weight n.x * List.length n.neighbors in
+    ({ n with work = n.work + cost }, msgs)
+
+  let handle n ~src:_ d =
+    ({ n with x = C.join n.x d; work = n.work + C.weight d }, [])
+
+  let state n = n.x
+  let payload_weight d = C.weight d
+  let metadata_weight _ = 0
+  let payload_bytes d = C.byte_size d
+  let metadata_bytes _ = 0
+  let memory_weight n = C.weight n.x
+  let memory_bytes n = C.byte_size n.x
+  let metadata_memory_bytes _ = 0
+  let work n = n.work
+end

@@ -1,0 +1,44 @@
+(** Vector clocks: summaries [I ↪→ ℕ] of per-replica event counts.
+
+    Used by the operation-based causal-broadcast middleware (each operation
+    is tagged with the vector clock of its causal past) and by Scuttlebutt
+    (summary vectors of known updates). *)
+
+module M = Map.Make (Int)
+
+type t = int M.t
+
+let empty : t = M.empty
+let get i (v : t) = match M.find_opt i v with Some n -> n | None -> 0
+let set i n (v : t) : t = if n = 0 then M.remove i v else M.add i n v
+let incr i (v : t) : t = M.add i (get i v + 1) v
+let merge (a : t) (b : t) : t = M.union (fun _ x y -> Some (max x y)) a b
+let leq (a : t) (b : t) = M.for_all (fun i n -> n <= get i b) a
+let equal (a : t) (b : t) = leq a b && leq b a
+let compare (a : t) (b : t) = M.compare Int.compare a b
+let cardinal (v : t) = M.cardinal v
+let bindings (v : t) = M.bindings v
+let of_list l : t = List.fold_left (fun v (i, n) -> set i n v) empty l
+
+(** [dominates_strictly a b]: [b ≤ a] and [a ≠ b]. *)
+let dominates_strictly a b = leq b a && not (leq a b)
+
+(** Causal deliverability (the standard vector-clock condition): an
+    operation from [origin] tagged with [tag] is deliverable at a replica
+    that has delivered [local] iff the tag is the immediate successor on
+    the origin's component and no newer than [local] elsewhere. *)
+let deliverable ~origin ~tag ~local =
+  get origin tag = get origin local + 1
+  && M.for_all (fun i n -> i = origin || n <= get i local) tag
+
+(* A vector entry on the wire: a 20 B replica id plus an 8 B counter, the
+   accounting convention of Fig. 9. *)
+let entry_bytes = Crdt_core.Replica_id.id_bytes + 8
+let byte_size (v : t) = cardinal v * entry_bytes
+
+let pp ppf (v : t) =
+  Format.fprintf ppf "@[<1>[%a]@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (i, n) -> Format.fprintf ppf "%d:%d" i n))
+    (M.bindings v)

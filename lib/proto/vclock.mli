@@ -1,0 +1,37 @@
+(** Vector clocks: summaries [I ↪→ ℕ] of per-replica event counts.
+
+    Used by the op-based causal-broadcast middleware (operation tags) and
+    by Scuttlebutt (summary vectors of known updates). *)
+
+type t
+
+val empty : t
+val get : int -> t -> int
+val set : int -> int -> t -> t
+(** Setting a component to 0 removes the entry. *)
+
+val incr : int -> t -> t
+val merge : t -> t -> t
+(** Pointwise maximum. *)
+
+val leq : t -> t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val dominates_strictly : t -> t -> bool
+(** [dominates_strictly a b]: [b ≤ a] and [a ≠ b]. *)
+
+val deliverable : origin:int -> tag:t -> local:t -> bool
+(** Standard causal-delivery condition: the tag is the immediate
+    successor on the origin's component and no newer than [local]
+    elsewhere. *)
+
+val cardinal : t -> int
+val bindings : t -> (int * int) list
+val of_list : (int * int) list -> t
+
+val entry_bytes : int
+(** Wire size of one entry: a 20 B replica id plus an 8 B counter
+    (the accounting convention of Fig. 9). *)
+
+val byte_size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** The whole Retwis database as one composed CRDT: a grow-only map from
+    user id to {!User_state}.
+
+    With the store expressed as a single lattice, optimal deltas localize
+    updates to the touched user/object automatically, and every protocol
+    of [crdt_proto] replicates the full application unchanged. *)
+
+open Crdt_core
+
+module Db = Gmap.Make (Gmap.Int_key) (User_state)
+include Db
+
+(** Application-level queries. *)
+
+let followers_of user db = User_state.followers (find user db)
+
+let wall_of user db = User_state.wall (find user db)
+
+let timeline_of ?limit user db =
+  User_state.recent_timeline ?limit (find user db)
+
+(** Application-level update helpers (classic mutators). *)
+
+let follow ~follower ~followee i db =
+  apply followee (User_state.Follow follower) i db
+
+let post ~author ~tweet_id ~content i db =
+  apply author (User_state.Post { tweet_id; content }) i db
+
+let push_timeline ~user ~timestamp ~tweet_id i db =
+  apply user (User_state.Timeline_add { timestamp; tweet_id }) i db

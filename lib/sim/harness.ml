@@ -1,0 +1,112 @@
+(** Uniform experiment driver: runs the same workload under every
+    synchronization protocol and returns comparable measurements.
+
+    Used by the benchmark executable (one section per paper figure) and by
+    the [crdtsync] CLI. *)
+
+open Crdt_proto
+
+type outcome = {
+  protocol : string;
+  summary : Metrics.summary;  (** measured rounds only. *)
+  full : Metrics.summary;  (** including the convergence tail. *)
+  work : int;  (** total work units across nodes. *)
+  converged : bool;
+}
+
+(** Which protocols to include in a run. *)
+type selection = {
+  state_based : bool;
+  delta_classic : bool;
+  delta_bp : bool;
+  delta_rr : bool;
+  delta_bp_rr : bool;
+  scuttlebutt : bool;
+  scuttlebutt_gc : bool;
+  op_based : bool;
+  merkle : bool;
+      (** hash-tree anti-entropy, an extension baseline beyond the
+          paper's protocol set (related work [32, 33]). *)
+}
+
+let all_protocols =
+  {
+    state_based = true;
+    delta_classic = true;
+    delta_bp = true;
+    delta_rr = true;
+    delta_bp_rr = true;
+    scuttlebutt = true;
+    scuttlebutt_gc = true;
+    op_based = true;
+    merkle = true;
+  }
+
+let delta_only =
+  {
+    state_based = false;
+    delta_classic = true;
+    delta_bp = false;
+    delta_rr = false;
+    delta_bp_rr = true;
+    scuttlebutt = false;
+    scuttlebutt_gc = false;
+    op_based = false;
+    merkle = false;
+  }
+
+module Make (C : Protocol_intf.CRDT) = struct
+  type ops = round:int -> node:int -> C.t -> C.op list
+
+  module Run (P : Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op) =
+  struct
+    module R = Runner.Make (P)
+
+    let go ~topology ~rounds ~(ops : ops) =
+      let res = R.run ~equal:C.equal ~topology ~rounds ~ops () in
+      {
+        protocol = P.protocol_name;
+        summary = R.summary res;
+        full = R.full_summary res;
+        work = R.total_work res;
+        converged = res.R.converged;
+      }
+  end
+
+  module State = Run (State_sync.Make (C))
+  module Classic = Run (Delta_sync.Make (C) (Delta_sync.Classic_config))
+  module Bp = Run (Delta_sync.Make (C) (Delta_sync.Bp_config))
+  module Rr = Run (Delta_sync.Make (C) (Delta_sync.Rr_config))
+  module BpRr = Run (Delta_sync.Make (C) (Delta_sync.Bp_rr_config))
+  module Sb = Run (Scuttlebutt.Make (C) (Scuttlebutt.No_gc_config))
+  module SbGc = Run (Scuttlebutt.Make (C) (Scuttlebutt.Gc_config))
+  module Op = Run (Op_sync.Make (C))
+  module Merkle = Run (Merkle_sync.Make (C) (Merkle_sync.Default_config))
+
+  (** Run the selected protocols over the same topology and operation
+      stream; results come back in a stable order with BP+RR last
+      runnable as the ratio baseline. *)
+  let run ?(selection = all_protocols) ~topology ~rounds ~(ops : ops) () =
+    let maybe flag f acc = if flag then f () :: acc else acc in
+    List.rev
+      ([]
+      |> maybe selection.state_based (fun () -> State.go ~topology ~rounds ~ops)
+      |> maybe selection.delta_classic (fun () ->
+             Classic.go ~topology ~rounds ~ops)
+      |> maybe selection.delta_bp (fun () -> Bp.go ~topology ~rounds ~ops)
+      |> maybe selection.delta_rr (fun () -> Rr.go ~topology ~rounds ~ops)
+      |> maybe selection.delta_bp_rr (fun () -> BpRr.go ~topology ~rounds ~ops)
+      |> maybe selection.scuttlebutt (fun () -> Sb.go ~topology ~rounds ~ops)
+      |> maybe selection.scuttlebutt_gc (fun () ->
+             SbGc.go ~topology ~rounds ~ops)
+      |> maybe selection.op_based (fun () -> Op.go ~topology ~rounds ~ops)
+      |> maybe selection.merkle (fun () -> Merkle.go ~topology ~rounds ~ops))
+
+  (** Find the BP+RR baseline in a result list. *)
+  let baseline outcomes =
+    match
+      List.find_opt (fun o -> o.protocol = "delta-bp+rr") outcomes
+    with
+    | Some o -> o
+    | None -> invalid_arg "Harness.baseline: run BP+RR to compute ratios"
+end

@@ -1,0 +1,77 @@
+(** Measurement records shared by the simulator and the bench harness.
+
+    All weights count lattice elements (the Table I metric: set elements
+    and map entries); byte figures follow the paper's wire-size
+    conventions (node id = 20 B, int = 8 B). *)
+
+type round = {
+  messages : int;  (** messages delivered this round. *)
+  payload : int;  (** lattice elements shipped. *)
+  metadata : int;  (** metadata units shipped. *)
+  payload_bytes : int;
+  metadata_bytes : int;
+  memory_weight : int;  (** elements resident across all nodes after the round. *)
+  memory_bytes : int;
+  metadata_memory_bytes : int;
+}
+
+let empty_round =
+  {
+    messages = 0;
+    payload = 0;
+    metadata = 0;
+    payload_bytes = 0;
+    metadata_bytes = 0;
+    memory_weight = 0;
+    memory_bytes = 0;
+    metadata_memory_bytes = 0;
+  }
+
+type summary = {
+  rounds : int;
+  total_messages : int;
+  total_payload : int;
+  total_metadata : int;
+  total_payload_bytes : int;
+  total_metadata_bytes : int;
+  avg_memory_weight : float;  (** mean across rounds of system-wide resident elements. *)
+  avg_memory_bytes : float;
+  max_memory_weight : int;
+  avg_metadata_memory_bytes : float;
+}
+
+let summarize (rounds : round array) : summary =
+  let n = Array.length rounds in
+  let fold f init = Array.fold_left f init rounds in
+  let fn = float_of_int (max n 1) in
+  {
+    rounds = n;
+    total_messages = fold (fun acc r -> acc + r.messages) 0;
+    total_payload = fold (fun acc r -> acc + r.payload) 0;
+    total_metadata = fold (fun acc r -> acc + r.metadata) 0;
+    total_payload_bytes = fold (fun acc r -> acc + r.payload_bytes) 0;
+    total_metadata_bytes = fold (fun acc r -> acc + r.metadata_bytes) 0;
+    avg_memory_weight =
+      float_of_int (fold (fun acc r -> acc + r.memory_weight) 0) /. fn;
+    avg_memory_bytes =
+      float_of_int (fold (fun acc r -> acc + r.memory_bytes) 0) /. fn;
+    max_memory_weight = fold (fun acc r -> max acc r.memory_weight) 0;
+    avg_metadata_memory_bytes =
+      float_of_int (fold (fun acc r -> acc + r.metadata_memory_bytes) 0) /. fn;
+  }
+
+(** Grand total of transmitted units (payload + metadata). *)
+let total_transmission s = s.total_payload + s.total_metadata
+
+let total_transmission_bytes s = s.total_payload_bytes + s.total_metadata_bytes
+
+(** Metadata share of all transmitted bytes (Section V-B2). *)
+let metadata_fraction s =
+  let total = total_transmission_bytes s in
+  if total = 0 then 0.
+  else float_of_int s.total_metadata_bytes /. float_of_int total
+
+let ratio ~baseline x =
+  if baseline = 0 then Float.nan else float_of_int x /. float_of_int baseline
+
+let fratio ~baseline x = if baseline = 0. then Float.nan else x /. baseline

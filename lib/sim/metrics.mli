@@ -1,0 +1,49 @@
+(** Measurement records shared by the simulator and the bench harness.
+
+    Weights count lattice elements (the Table I metric: set elements and
+    map entries); byte figures follow the paper's wire-size conventions
+    (node id = 20 B, int = 8 B). *)
+
+type round = {
+  messages : int;  (** messages delivered this round. *)
+  payload : int;  (** lattice elements shipped. *)
+  metadata : int;  (** metadata units shipped. *)
+  payload_bytes : int;
+  metadata_bytes : int;
+  memory_weight : int;
+      (** elements resident across all nodes after the round. *)
+  memory_bytes : int;
+  metadata_memory_bytes : int;
+}
+
+val empty_round : round
+
+type summary = {
+  rounds : int;
+  total_messages : int;
+  total_payload : int;
+  total_metadata : int;
+  total_payload_bytes : int;
+  total_metadata_bytes : int;
+  avg_memory_weight : float;
+      (** mean across rounds of system-wide resident elements. *)
+  avg_memory_bytes : float;
+  max_memory_weight : int;
+  avg_metadata_memory_bytes : float;
+}
+
+val summarize : round array -> summary
+
+val total_transmission : summary -> int
+(** Payload + metadata, in element units. *)
+
+val total_transmission_bytes : summary -> int
+
+val metadata_fraction : summary -> float
+(** Metadata share of all transmitted bytes (Section V-B2); 0 when
+    nothing was transmitted. *)
+
+val ratio : baseline:int -> int -> float
+(** [ratio ~baseline x = x / baseline]; NaN on a zero baseline. *)
+
+val fratio : baseline:float -> float -> float

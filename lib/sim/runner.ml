@@ -1,0 +1,178 @@
+(** Round-based simulation driver.
+
+    Substitutes the paper's Kubernetes/Emulab deployment: one simulated
+    round corresponds to one synchronization interval (1 s in the paper).
+    Per round, every node first executes its periodic update operations,
+    then every node runs a synchronization step; messages are delivered
+    and any protocol-level replies (e.g. Scuttlebutt's digest → pairs
+    exchange) are processed until the network drains.  Transport-level
+    faults can be injected: per-message duplication and reordering — the
+    channel properties state-based CRDTs must tolerate (Section I) — and
+    probabilistic message loss (tolerated by the retry-by-design
+    protocols: state-based, ack-mode delta, Scuttlebutt, Merkle).
+
+    After the measured rounds, the runner performs quiescent
+    synchronization rounds (no further operations) until all replicas
+    converge, and reports whether convergence was reached — every
+    experiment doubles as a correctness check. *)
+
+module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
+  type result = {
+    rounds : Metrics.round array;  (** one record per measured round. *)
+    quiesce_rounds : Metrics.round array;
+        (** extra rounds needed to reach convergence. *)
+    finals : P.crdt array;
+    work : int array;  (** cumulative work units per node. *)
+    converged : bool;
+  }
+
+  type fault_plan = {
+    duplicate : float;  (** probability a delivered message is duplicated. *)
+    drop : float;  (** probability a message is dropped (ack-mode only). *)
+    shuffle : bool;  (** randomize delivery order within a round. *)
+    rng : Random.State.t;
+  }
+
+  let no_faults =
+    { duplicate = 0.; drop = 0.; shuffle = false; rng = Random.State.make [| 7 |] }
+
+  let snapshot nodes (acc : Metrics.round) : Metrics.round =
+    let memory_weight = ref 0
+    and memory_bytes = ref 0
+    and metadata_memory_bytes = ref 0 in
+    Array.iter
+      (fun n ->
+        memory_weight := !memory_weight + P.memory_weight n;
+        memory_bytes := !memory_bytes + P.memory_bytes n;
+        metadata_memory_bytes :=
+          !metadata_memory_bytes + P.metadata_memory_bytes n)
+      nodes;
+    {
+      acc with
+      memory_weight = !memory_weight;
+      memory_bytes = !memory_bytes;
+      metadata_memory_bytes = !metadata_memory_bytes;
+    }
+
+  (* Deliver a queue of (src, dst, message), accumulating measurements and
+     processing protocol replies until the network drains. *)
+  let deliver ~faults nodes queue (acc : Metrics.round) : Metrics.round =
+    let acc = ref acc in
+    let pending = Queue.create () in
+    let push msgs = List.iter (fun m -> Queue.add m pending) msgs in
+    push queue;
+    while not (Queue.is_empty pending) do
+      let batch =
+        if faults.shuffle then begin
+          let all = List.of_seq (Queue.to_seq pending) in
+          Queue.clear pending;
+          (* Fisher–Yates shuffle for delivery-order randomization. *)
+          let arr = Array.of_list all in
+          for i = Array.length arr - 1 downto 1 do
+            let j = Random.State.int faults.rng (i + 1) in
+            let tmp = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- tmp
+          done;
+          Array.to_list arr
+        end
+        else begin
+          let all = List.of_seq (Queue.to_seq pending) in
+          Queue.clear pending;
+          all
+        end
+      in
+      List.iter
+        (fun (src, dst, msg) ->
+          let dropped = faults.drop > 0. && Random.State.float faults.rng 1. < faults.drop in
+          acc :=
+            {
+              !acc with
+              messages = !acc.messages + 1;
+              payload = !acc.payload + P.payload_weight msg;
+              metadata = !acc.metadata + P.metadata_weight msg;
+              payload_bytes = !acc.payload_bytes + P.payload_bytes msg;
+              metadata_bytes = !acc.metadata_bytes + P.metadata_bytes msg;
+            };
+          if not dropped then begin
+            let deliveries =
+              if
+                faults.duplicate > 0.
+                && Random.State.float faults.rng 1. < faults.duplicate
+              then 2
+              else 1
+            in
+            for _ = 1 to deliveries do
+              let node, replies = P.handle nodes.(dst) ~src msg in
+              nodes.(dst) <- node;
+              push (List.map (fun (j, m) -> (dst, j, m)) replies)
+            done
+          end)
+        batch
+    done;
+    !acc
+
+  let sync_round ~faults nodes (acc : Metrics.round) : Metrics.round =
+    let queue = ref [] in
+    Array.iteri
+      (fun i _ ->
+        let node, msgs = P.tick nodes.(i) in
+        nodes.(i) <- node;
+        queue := !queue @ List.map (fun (j, m) -> (i, j, m)) msgs)
+      nodes;
+    deliver ~faults nodes !queue acc
+
+  let all_equal ~equal nodes =
+    let first = P.state nodes.(0) in
+    Array.for_all (fun n -> equal (P.state n) first) nodes
+
+  (** Run a simulation.
+
+      [ops ~round ~node state] lists the operations node [node] performs
+      at the start of [round] given its current local state (Retwis needs
+      the state to read follower sets).  [quiesce_limit] bounds the
+      post-measurement convergence phase. *)
+  let run ?(faults = no_faults) ?(quiesce_limit = 64) ~equal ~topology ~rounds
+      ~ops () =
+    let n = Topology.size topology in
+    let nodes =
+      Array.init n (fun i ->
+          P.init ~id:i ~neighbors:(Topology.neighbors topology i) ~total:n)
+    in
+    let measured =
+      Array.init rounds (fun round ->
+          Array.iteri
+            (fun i _ ->
+              List.iter
+                (fun op -> nodes.(i) <- P.local_update nodes.(i) op)
+                (ops ~round ~node:i (P.state nodes.(i))))
+            nodes;
+          let acc = sync_round ~faults nodes Metrics.empty_round in
+          snapshot nodes acc)
+    in
+    (* Quiescent phase: keep synchronizing without new operations until
+       all replicas agree (or the bound is hit). *)
+    let quiesce = ref [] in
+    let steps = ref 0 in
+    while (not (all_equal ~equal nodes)) && !steps < quiesce_limit do
+      incr steps;
+      let acc = sync_round ~faults nodes Metrics.empty_round in
+      quiesce := snapshot nodes acc :: !quiesce
+    done;
+    {
+      rounds = measured;
+      quiesce_rounds = Array.of_list (List.rev !quiesce);
+      finals = Array.map P.state nodes;
+      work = Array.map P.work nodes;
+      converged = all_equal ~equal nodes;
+    }
+
+  (** Summary over the measured rounds only. *)
+  let summary r = Metrics.summarize r.rounds
+
+  (** Summary including the quiescent convergence tail. *)
+  let full_summary r =
+    Metrics.summarize (Array.append r.rounds r.quiesce_rounds)
+
+  let total_work r = Array.fold_left ( + ) 0 r.work
+end

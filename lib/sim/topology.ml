@@ -1,0 +1,133 @@
+(** Static network topologies (Fig. 6 and variants).
+
+    A topology is an undirected connected graph over nodes [0 .. n-1];
+    replicas synchronize only with their graph neighbors.  The paper's
+    experiments use a 15-node binary {!tree} (an acyclic, optimal
+    propagation scenario) and a 15-node degree-4 {!partial_mesh} (whose
+    link redundancy exercises the RR optimization). *)
+
+type t = { name : string; n : int; adj : int list array }
+
+let name t = t.name
+let size t = t.n
+
+let neighbors t i =
+  if i < 0 || i >= t.n then invalid_arg "Topology.neighbors: bad node id";
+  t.adj.(i)
+
+let degree t i = List.length (neighbors t i)
+
+(* Normalize an edge list into a validated topology. *)
+let of_edges ~name ~n edges =
+  if n <= 0 then invalid_arg "Topology.of_edges: empty topology";
+  let adj = Array.make n [] in
+  let add i j =
+    if i = j then invalid_arg "Topology.of_edges: self loop";
+    if i < 0 || i >= n || j < 0 || j >= n then
+      invalid_arg "Topology.of_edges: node out of range";
+    if not (List.mem j adj.(i)) then adj.(i) <- j :: adj.(i)
+  in
+  List.iter
+    (fun (i, j) ->
+      add i j;
+      add j i)
+    edges;
+  let t = { name; n; adj = Array.map (List.sort Int.compare) adj } in
+  (* Connectivity check: BFS from node 0 must reach everyone. *)
+  let visited = Array.make n false in
+  let rec bfs = function
+    | [] -> ()
+    | i :: rest ->
+        if visited.(i) then bfs rest
+        else begin
+          visited.(i) <- true;
+          bfs (List.rev_append t.adj.(i) rest)
+        end
+  in
+  bfs [ 0 ];
+  if not (Array.for_all Fun.id visited) then
+    invalid_arg "Topology.of_edges: disconnected topology";
+  t
+
+let edges t =
+  let out = ref [] in
+  Array.iteri
+    (fun i js -> List.iter (fun j -> if i < j then out := (i, j) :: !out) js)
+    t.adj;
+  List.rev !out
+
+(** Path graph [0 - 1 - ... - n-1]. *)
+let line n =
+  of_edges ~name:"line" ~n (List.init (n - 1) (fun i -> (i, i + 1)))
+
+(** Cycle graph. *)
+let ring n =
+  if n < 3 then invalid_arg "Topology.ring: need at least 3 nodes";
+  of_edges ~name:"ring" ~n
+    (List.init n (fun i -> (i, (i + 1) mod n)))
+
+(** Node 0 connected to everyone else. *)
+let star n =
+  if n < 2 then invalid_arg "Topology.star: need at least 2 nodes";
+  of_edges ~name:"star" ~n (List.init (n - 1) (fun i -> (0, i + 1)))
+
+(** Complete graph (all-to-all connectivity). *)
+let full_mesh n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  of_edges ~name:"full-mesh" ~n !edges
+
+(** Complete binary tree laid out in heap order: node [i]'s children are
+    [2i+1] and [2i+2].  With [n = 15] this is exactly the paper's tree
+    topology: the root has 2 neighbors, internal nodes 3, leaves 1. *)
+let tree n =
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := ((i - 1) / 2, i) :: !edges
+  done;
+  of_edges ~name:"tree" ~n !edges
+
+(** Circulant graph: node [i] is connected to [i ± o] for each offset
+    [o]. *)
+let circulant ~offsets n =
+  let edges = ref [] in
+  List.iter
+    (fun o ->
+      if o <= 0 || o >= n then invalid_arg "Topology.circulant: bad offset";
+      for i = 0 to n - 1 do
+        edges := (i, (i + o) mod n) :: !edges
+      done)
+    offsets;
+  of_edges ~name:"circulant" ~n !edges
+
+(** The paper's partial mesh: every node has 4 neighbors and the graph is
+    rich in cycles (redundant links, desirable for fault tolerance).  We
+    use the circulant graph with offsets {1, 2}, which is 4-regular for
+    [n ≥ 5]. *)
+let partial_mesh n =
+  if n < 5 then invalid_arg "Topology.partial_mesh: need at least 5 nodes";
+  { (circulant ~offsets:[ 1; 2 ] n) with name = "mesh" }
+
+(** 2-D grid of [rows × cols] nodes (extension topology). *)
+let grid ~rows ~cols =
+  let n = rows * cols in
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
+    done
+  done;
+  of_edges ~name:"grid" ~n !edges
+
+(** True when the graph contains no cycle (|E| = n − 1 given
+    connectivity), i.e. BP alone suffices for optimal propagation. *)
+let is_acyclic t = List.length (edges t) = t.n - 1
+
+let pp ppf t =
+  Format.fprintf ppf "%s(n=%d, edges=%d)" t.name t.n (List.length (edges t))

@@ -1,0 +1,48 @@
+(** Static network topologies (Fig. 6 and variants).
+
+    A topology is an undirected connected graph over nodes [0 .. n-1];
+    replicas synchronize only with their graph neighbors.  All
+    constructors validate connectivity and reject self-loops. *)
+
+type t
+
+val name : t -> string
+val size : t -> int
+
+val neighbors : t -> int -> int list
+(** @raise Invalid_argument on out-of-range node ids. *)
+
+val degree : t -> int -> int
+
+val of_edges : name:string -> n:int -> (int * int) list -> t
+(** Build from an undirected edge list.
+    @raise Invalid_argument on self-loops, out-of-range endpoints or
+    disconnected graphs. *)
+
+val edges : t -> (int * int) list
+(** Undirected edges, each reported once with the smaller endpoint
+    first. *)
+
+val line : int -> t
+val ring : int -> t
+val star : int -> t
+val full_mesh : int -> t
+
+val tree : int -> t
+(** Complete binary tree in heap order.  With [n = 15] this is the
+    paper's tree topology: root degree 2, internal degree 3, leaves 1. *)
+
+val circulant : offsets:int list -> int -> t
+(** Node [i] connected to [i ± o] for each offset. *)
+
+val partial_mesh : int -> t
+(** The paper's partial mesh: 4-regular, rich in cycles (circulant with
+    offsets {1, 2}).  Requires [n ≥ 5]. *)
+
+val grid : rows:int -> cols:int -> t
+
+val is_acyclic : t -> bool
+(** True when BP alone suffices for optimal propagation (no redundant
+    paths). *)
+
+val pp : Format.formatter -> t -> unit

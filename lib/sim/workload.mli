@@ -1,0 +1,41 @@
+(** Micro-benchmark workload generators (Table I).
+
+    Each node performs one periodic event per round: a unique-element
+    addition (GSet), a single increment (GCounter), or a block of key
+    updates covering K/N % of the key space (GMap K%). *)
+
+open Crdt_core
+
+val gset : nodes:int -> round:int -> node:int -> 'state -> Gset.Of_int.op list
+(** Addition of a globally unique element (rounds × nodes never
+    collide). *)
+
+val gcounter : round:int -> node:int -> 'state -> Gcounter.op list
+
+val gset_contended :
+  pool:int -> round:int -> node:int -> 'state -> Gset.Of_int.op list
+(** Adds drawn round-robin from a small pool so most of them re-add
+    present elements — the δ-mutator-optimality ablation workload. *)
+
+val gmap_keys :
+  total_keys:int -> k:int -> nodes:int -> round:int -> node:int -> int list
+(** The key block node [node] updates in [round]: [total_keys·k/100/n]
+    keys, disjoint across nodes within a round, rotating with the round
+    so that globally K % of all keys change per synchronization
+    interval. *)
+
+val gmap :
+  total_keys:int ->
+  k:int ->
+  nodes:int ->
+  round:int ->
+  node:int ->
+  'state ->
+  Gmap.Versioned.op list
+
+(** Default experiment scale, matching the paper's micro-benchmarks. *)
+module Defaults : sig
+  val nodes : int
+  val rounds : int
+  val total_keys : int
+end

@@ -1,0 +1,38 @@
+(** Zipf-distributed sampling over [0 .. n-1].
+
+    Rank [k] (1-based) has probability proportional to [1 / k^s]; the
+    Retwis evaluation sweeps the coefficient [s] from 0.5 (low contention)
+    to 1.5 (high contention), following [24]. *)
+
+type t = { cumulative : float array; rng : Random.State.t }
+
+let make ~rng ~s ~n =
+  if n <= 0 then invalid_arg "Zipf.make: need a positive support";
+  if s < 0. then invalid_arg "Zipf.make: negative coefficient";
+  let cumulative = Array.make n 0. in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (k + 1)) s);
+    cumulative.(k) <- !total
+  done;
+  (* Normalize so the last entry is exactly 1. *)
+  let norm = !total in
+  Array.iteri (fun k v -> cumulative.(k) <- v /. norm) cumulative;
+  { cumulative; rng }
+
+let support t = Array.length t.cumulative
+
+(** Draw a sample; rank 0 is the most popular item. *)
+let sample t =
+  let u = Random.State.float t.rng 1.0 in
+  (* Binary search for the first index whose cumulative mass reaches u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(** Empirical probability of the most popular item, for tests. *)
+let head_mass t =
+  t.cumulative.(0)

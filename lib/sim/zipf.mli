@@ -1,0 +1,18 @@
+(** Zipf-distributed sampling over [0 .. n-1].
+
+    Rank [k] (1-based) has probability proportional to [1 / k^s]; the
+    Retwis evaluation sweeps [s] from 0.5 (low contention) to 1.5 (high
+    contention). *)
+
+type t
+
+val make : rng:Random.State.t -> s:float -> n:int -> t
+(** @raise Invalid_argument when [n ≤ 0] or [s < 0]. *)
+
+val support : t -> int
+
+val sample : t -> int
+(** Draw a sample; rank 0 is the most popular item. *)
+
+val head_mass : t -> float
+(** Probability of the most popular item. *)

@@ -1,0 +1,94 @@
+(* Focused tests for the ack-based delta buffer (the paper's footnote in
+   Section IV: on lossy channels, tag δ-buffer entries with sequence
+   numbers and evict them only once every neighbor acknowledged). *)
+
+open Crdt_core
+open Crdt_proto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module S = Gset.Of_string
+module P = Delta_sync.Make (S) (Delta_sync.Ack_config)
+
+(* Pull the single message addressed to [dest] out of a tick result. *)
+let to_dest dest msgs = List.assoc_opt dest msgs
+
+let tests =
+  [
+    Alcotest.test_case "unacked δ-groups are retransmitted" `Quick (fun () ->
+        let a = P.init ~id:0 ~neighbors:[ 1 ] ~total:2 in
+        let a = P.local_update a "x" in
+        let a, msgs = P.tick a in
+        check "first send" true (to_dest 1 msgs <> None);
+        (* The message is lost; the next tick must resend it. *)
+        let a, msgs = P.tick a in
+        (match to_dest 1 msgs with
+        | Some m -> check_int "resent payload" 1 (P.payload_weight m)
+        | None -> Alcotest.fail "expected a retransmission");
+        ignore a);
+    Alcotest.test_case "acked δ-groups stop being sent" `Quick (fun () ->
+        let a = P.init ~id:0 ~neighbors:[ 1 ] ~total:2 in
+        let b = P.init ~id:1 ~neighbors:[ 0 ] ~total:2 in
+        let a = P.local_update a "x" in
+        let a, msgs = P.tick a in
+        let m = Option.get (to_dest 1 msgs) in
+        let b, replies = P.handle b ~src:0 m in
+        check "receiver acks" true (replies <> []);
+        check "receiver applied" true (S.mem "x" (P.state b));
+        (* Deliver the ack back to a; nothing further flows. *)
+        let a =
+          List.fold_left
+            (fun a (dest, reply) ->
+              check_int "ack goes to a" 0 dest;
+              fst (P.handle a ~src:1 reply))
+            a replies
+        in
+        let _, msgs = P.tick a in
+        check "silence after ack" true (to_dest 1 msgs = None));
+    Alcotest.test_case "memory drains only after the ack" `Quick (fun () ->
+        let a = P.init ~id:0 ~neighbors:[ 1 ] ~total:2 in
+        let b = P.init ~id:1 ~neighbors:[ 0 ] ~total:2 in
+        let a = P.local_update a "x" in
+        let before = P.memory_weight a in
+        let a, msgs = P.tick a in
+        (* Without the ack the buffer entry survives the tick. *)
+        check_int "still buffered" before (P.memory_weight a);
+        let _, replies = P.handle b ~src:0 (Option.get (to_dest 1 msgs)) in
+        let a =
+          List.fold_left
+            (fun a (_, reply) -> fst (P.handle a ~src:1 reply))
+            a replies
+        in
+        let a, _ = P.tick a in
+        check "drained" true (P.memory_weight a < before));
+    Alcotest.test_case "duplicated acks are harmless" `Quick (fun () ->
+        let a = P.init ~id:0 ~neighbors:[ 1 ] ~total:2 in
+        let b = P.init ~id:1 ~neighbors:[ 0 ] ~total:2 in
+        let a = P.local_update a "x" in
+        let a, msgs = P.tick a in
+        let _, replies = P.handle b ~src:0 (Option.get (to_dest 1 msgs)) in
+        let ack = snd (List.hd replies) in
+        let a, _ = P.handle a ~src:1 ack in
+        let a, _ = P.handle a ~src:1 ack in
+        let _, msgs = P.tick a in
+        check "no resend" true (to_dest 1 msgs = None));
+    Alcotest.test_case "BP still filters the origin under ack mode" `Quick
+      (fun () ->
+        (* b's δ-group reaches a; a must not send it back to b even
+           though b never acked it (it is its origin). *)
+        let a = P.init ~id:0 ~neighbors:[ 1 ] ~total:2 in
+        let b = P.init ~id:1 ~neighbors:[ 0 ] ~total:2 in
+        let b = P.local_update b "y" in
+        let _, msgs = P.tick b in
+        let a, _ = P.handle a ~src:1 (Option.get (to_dest 0 msgs)) in
+        let _, msgs = P.tick a in
+        (* Only the ack-free path matters: any Delta to b must be empty
+           of y, i.e. there is no Delta at all (a has no local ops). *)
+        check "nothing delta-worthy for b" true
+          (match to_dest 1 msgs with
+          | None -> true
+          | Some m -> P.payload_weight m = 0));
+  ]
+
+let () = Alcotest.run "ack-mode delta buffer" [ ("ack mode", tests) ]

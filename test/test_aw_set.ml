@@ -1,0 +1,134 @@
+(* Unit tests for the add-wins observed-remove set, including the
+   add/remove concurrency semantics that define it and delta
+   replication end-to-end. *)
+
+open Crdt_core
+module S = Aw_set.Of_string
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+let basics =
+  [
+    Alcotest.test_case "add then mem" `Quick (fun () ->
+        let s = S.add "x" a S.bottom in
+        check "mem" true (S.mem "x" s);
+        Alcotest.(check (list string)) "value" [ "x" ] (S.value s));
+    Alcotest.test_case "remove observed element" `Quick (fun () ->
+        let s = S.add "x" a S.bottom in
+        let s = S.remove "x" a s in
+        check "gone" false (S.mem "x" s);
+        check_int "tombstone kept" 1 (S.tombstones s));
+    Alcotest.test_case "re-add after remove works (unlike 2P-set)" `Quick
+      (fun () ->
+        let s = S.add "x" a S.bottom in
+        let s = S.remove "x" a s in
+        let s = S.add "x" a s in
+        check "back" true (S.mem "x" s));
+    Alcotest.test_case "removing an absent element is a no-op" `Quick
+      (fun () ->
+        let s = S.add "x" a S.bottom in
+        check "unchanged" true (S.equal s (S.remove "y" a s)));
+    Alcotest.test_case "duplicate adds collapse in value" `Quick (fun () ->
+        let s = S.add "x" a (S.add "x" b S.bottom) in
+        Alcotest.(check (list string)) "one value" [ "x" ] (S.value s);
+        check_int "two dots" 2 (S.alive_dots s));
+  ]
+
+let concurrency =
+  [
+    Alcotest.test_case "add wins over concurrent remove" `Quick (fun () ->
+        let base = S.add "x" a S.bottom in
+        (* b removes the x it observed; a concurrently re-adds x. *)
+        let at_b = S.remove "x" b base in
+        let at_a = S.add "x" a base in
+        let m = S.join at_b at_a in
+        check "commutes" true (S.equal m (S.join at_a at_b));
+        check "add wins" true (S.mem "x" m));
+    Alcotest.test_case "remove kills only what it observed" `Quick (fun () ->
+        let at_a = S.add "x" a S.bottom in
+        let at_b = S.add "x" b S.bottom in
+        (* a removes before ever seeing b's dot. *)
+        let at_a = S.remove "x" a at_a in
+        let m = S.join at_a at_b in
+        check "b's dot survives" true (S.mem "x" m));
+    Alcotest.test_case "remove after full observation empties the element"
+      `Quick (fun () ->
+        let at_a = S.add "x" a S.bottom in
+        let at_b = S.add "x" b S.bottom in
+        let merged = S.join at_a at_b in
+        let removed = S.remove "x" a merged in
+        check "gone everywhere" false (S.mem "x" (S.join removed at_b)));
+    Alcotest.test_case "independent elements never interfere" `Quick
+      (fun () ->
+        let s = S.add "x" a (S.add "y" b S.bottom) in
+        let s = S.remove "x" a s in
+        Alcotest.(check (list string)) "y stays" [ "y" ] (S.value s));
+  ]
+
+let deltas =
+  [
+    Alcotest.test_case "addδ is a single alive entry" `Quick (fun () ->
+        let s = S.add "x" a S.bottom in
+        let d = S.delta_mutate (S.Add "y") a s in
+        check_int "one entry" 1 (S.weight d));
+    Alcotest.test_case "removeδ is one dead entry per killed dot" `Quick
+      (fun () ->
+        let s = S.add "x" a (S.add "x" b S.bottom) in
+        let d = S.delta_mutate (S.Remove "x") a s in
+        check_int "two killed dots" 2 (S.weight d));
+    Alcotest.test_case "removeδ of an absent element is ⊥" `Quick (fun () ->
+        let s = S.add "x" a S.bottom in
+        check "bottom" true (S.is_bottom (S.delta_mutate (S.Remove "z") a s)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x)" `Quick (fun () ->
+        let s = S.add "x" a (S.remove "x" b (S.add "x" b S.bottom)) in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (S.equal (S.mutate op a s) (S.join s (S.delta_mutate op a s))))
+          [ S.Add "x"; S.Add "new"; S.Remove "x"; S.Remove "missing" ]);
+  ]
+
+(* End-to-end: OR-Set under BP+RR on a mesh with adds and removes. *)
+let replication =
+  [
+    Alcotest.test_case "converges under delta sync with mixed ops" `Quick
+      (fun () ->
+        let open Crdt_sim in
+        let module C = Aw_set.Of_int in
+        let module P =
+          Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Bp_rr_config)
+        in
+        let module R = Runner.Make (P) in
+        let topo = Topology.partial_mesh 8 in
+        let res =
+          R.run ~equal:C.equal ~topology:topo ~rounds:15
+            ~ops:(fun ~round ~node state ->
+              (* everyone keeps adding; node 0 periodically removes what
+                 it currently sees. *)
+              let add = C.Add ((round * 31) + node) in
+              if node = 0 && round mod 3 = 0 then
+                match C.value state with
+                | v :: _ -> [ add; C.Remove v ]
+                | [] -> [ add ]
+              else [ add ])
+            ()
+        in
+        check "converged" true res.R.converged;
+        Array.iter
+          (fun st ->
+            check "identical values" true
+              (C.value st = C.value res.R.finals.(0)))
+          res.R.finals);
+  ]
+
+let () =
+  Alcotest.run "aw_set"
+    [
+      ("basics", basics);
+      ("concurrency (add-wins)", concurrency);
+      ("deltas", deltas);
+      ("replication", replication);
+    ]

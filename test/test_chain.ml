@@ -1,0 +1,85 @@
+(* Unit tests for chain lattices (Chain). *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module Mi = Chain.Max_int
+module Ms = Chain.Max_string
+module B = Chain.Bool_or
+
+let max_int_tests =
+  [
+    Alcotest.test_case "bottom is 0" `Quick (fun () ->
+        check_int "bottom" 0 Mi.bottom;
+        check "is_bottom" true (Mi.is_bottom 0));
+    Alcotest.test_case "join is max" `Quick (fun () ->
+        check_int "join" 7 (Mi.join 3 7);
+        check_int "join sym" 7 (Mi.join 7 3);
+        check_int "join self" 3 (Mi.join 3 3));
+    Alcotest.test_case "leq is <=" `Quick (fun () ->
+        check "3<=7" true (Mi.leq 3 7);
+        check "7<=3" false (Mi.leq 7 3);
+        check "0<=x" true (Mi.leq Mi.bottom 42));
+    Alcotest.test_case "weight counts one irreducible" `Quick (fun () ->
+        check_int "weight 0" 0 (Mi.weight 0);
+        check_int "weight 9" 1 (Mi.weight 9));
+    Alcotest.test_case "decompose per Appendix C: ⇓c = {c}" `Quick (fun () ->
+        Alcotest.(check (list int)) "non-bottom" [ 5 ] (Mi.decompose 5);
+        Alcotest.(check (list int)) "bottom" [] (Mi.decompose 0));
+    Alcotest.test_case "byte size is 8" `Quick (fun () ->
+        check_int "bytes" 8 (Mi.byte_size 123));
+  ]
+
+let max_string_tests =
+  [
+    Alcotest.test_case "bottom is empty string" `Quick (fun () ->
+        Alcotest.(check string) "bottom" "" Ms.bottom);
+    Alcotest.test_case "join is lexicographic max" `Quick (fun () ->
+        Alcotest.(check string) "join" "b" (Ms.join "a" "b");
+        Alcotest.(check string) "prefix" "ab" (Ms.join "ab" "a"));
+    Alcotest.test_case "byte size is length" `Quick (fun () ->
+        check_int "bytes" 5 (Ms.byte_size "hello"));
+  ]
+
+let bool_tests =
+  [
+    Alcotest.test_case "join is or" `Quick (fun () ->
+        check "f|t" true (B.join false true);
+        check "f|f" false (B.join false false));
+    Alcotest.test_case "two-element chain order" `Quick (fun () ->
+        check "f<=t" true (B.leq false true);
+        check "t<=f" false (B.leq true false));
+    Alcotest.test_case "decompose" `Quick (fun () ->
+        Alcotest.(check (list bool)) "true" [ true ] (B.decompose true);
+        Alcotest.(check (list bool)) "false" [] (B.decompose false));
+  ]
+
+(* Make_max over a custom carrier. *)
+module Level = Chain.Make_max (struct
+  type t = char
+
+  let compare = Char.compare
+  let bottom = 'a'
+  let byte_size _ = 1
+  let pp ppf = Format.fprintf ppf "%c"
+end)
+
+let custom_tests =
+  [
+    Alcotest.test_case "functor over chars" `Quick (fun () ->
+        Alcotest.(check char) "join" 'z' (Level.join 'q' 'z');
+        check "leq" true (Level.leq 'a' 'q');
+        check "bottom" true (Level.is_bottom 'a');
+        check_int "weight" 1 (Level.weight 'q'));
+  ]
+
+let () =
+  Alcotest.run "chain"
+    [
+      ("Max_int", max_int_tests);
+      ("Max_string", max_string_tests);
+      ("Bool_or", bool_tests);
+      ("Make_max", custom_tests);
+    ]

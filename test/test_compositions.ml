@@ -1,0 +1,260 @@
+(* Unit tests for the lattice compositions, pinned to the paper's worked
+   examples: Example 1 (join-irreducibility), Example 2 (irredundant
+   decompositions), Fig. 3 (Hasse diagrams), Appendix C (PNCounter
+   decomposition), and the lexicographic/linear-sum rules of Tables
+   III-IV. *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+(* -- Example 1 / Example 2: GCounter and GSet decompositions ----------- *)
+
+module Dc = Delta.Make (Gcounter)
+module Ds = Delta.Make (Gset.Of_string)
+
+let example_1 =
+  [
+    Alcotest.test_case "p1 = {A5} is join-irreducible" `Quick (fun () ->
+        check "p1" true (Dc.is_irreducible (Gcounter.of_list [ (a, 5) ])));
+    Alcotest.test_case "p3 = {A5,B7} is reducible" `Quick (fun () ->
+        check "p3" false
+          (Dc.is_irreducible (Gcounter.of_list [ (a, 5); (b, 7) ])));
+    Alcotest.test_case "s2 = {a} irreducible; s3 = {a,b} reducible" `Quick
+      (fun () ->
+        check "s2" true (Ds.is_irreducible (Gset.Of_string.of_list [ "a" ]));
+        check "s3" false
+          (Ds.is_irreducible (Gset.Of_string.of_list [ "a"; "b" ])));
+    Alcotest.test_case "bottom is never irreducible" `Quick (fun () ->
+        check "⊥" false (Ds.is_irreducible Gset.Of_string.bottom));
+  ]
+
+let same_states expected actual =
+  List.length expected = List.length actual
+  && List.for_all
+       (fun e -> List.exists (fun x -> Gcounter.equal e x) actual)
+       expected
+
+let example_2 =
+  [
+    Alcotest.test_case "⇓{A5,B7} = {{A5},{B7}} (P4)" `Quick (fun () ->
+        let p = Gcounter.of_list [ (a, 5); (b, 7) ] in
+        let expected =
+          [ Gcounter.of_list [ (a, 5) ]; Gcounter.of_list [ (b, 7) ] ]
+        in
+        check "P4" true (same_states expected (Gcounter.decompose p)));
+    Alcotest.test_case "⇓{a,b,c} = {{a},{b},{c}} (S4)" `Quick (fun () ->
+        let s = Gset.Of_string.of_list [ "a"; "b"; "c" ] in
+        let ds = Gset.Of_string.decompose s in
+        check_int "three singletons" 3 (List.length ds);
+        check "all singletons" true
+          (List.for_all (fun d -> Gset.Of_string.cardinal d = 1) ds));
+    Alcotest.test_case "P2-style sets with redundancy are rejected" `Quick
+      (fun () ->
+        (* P2 = {{A5},{B6},{B7}} is a decomposition of {A5,B7} but not
+           irredundant. *)
+        let p2 =
+          [
+            Gcounter.of_list [ (a, 5) ];
+            Gcounter.of_list [ (b, 6) ];
+            Gcounter.of_list [ (b, 7) ];
+          ]
+        in
+        check "is a decomposition" true
+          (Dc.is_decomposition p2 (Gcounter.of_list [ (a, 5); (b, 7) ]));
+        check "but redundant" false (Dc.is_irredundant p2));
+    Alcotest.test_case "P1 is not even a decomposition" `Quick (fun () ->
+        let p1 = [ Gcounter.of_list [ (a, 5) ]; Gcounter.of_list [ (b, 6) ] ] in
+        check "P1" false
+          (Dc.is_decomposition p1 (Gcounter.of_list [ (a, 5); (b, 7) ])));
+  ]
+
+(* -- Fig. 3a: GCounter Hasse diagram states ---------------------------- *)
+
+let fig3 =
+  [
+    Alcotest.test_case "{A1,B1} arises from inc or join (Fig. 3a)" `Quick
+      (fun () ->
+        let a1 = Gcounter.of_list [ (a, 1) ] in
+        let b1 = Gcounter.of_list [ (b, 1) ] in
+        let a1b1 = Gcounter.of_list [ (a, 1); (b, 1) ] in
+        check "inc on {A1} by B" true (Gcounter.equal a1b1 (Gcounter.inc b a1));
+        check "inc on {B1} by A" true (Gcounter.equal a1b1 (Gcounter.inc a b1));
+        check "join of the two" true
+          (Gcounter.equal a1b1 (Gcounter.join a1 b1)));
+  ]
+
+(* -- Product rule: ⇓⟨a,b⟩ = ⇓a × {⊥} ∪ {⊥} × ⇓b ------------------------ *)
+
+module PS = Powerset.Make (Powerset.String_elt)
+module Prod = Product.Make (Chain.Max_int) (PS)
+module Dp = Delta.Make (Prod)
+
+let product_tests =
+  [
+    Alcotest.test_case "componentwise join and order" `Quick (fun () ->
+        let x = (3, PS.of_list [ "a" ]) and y = (1, PS.of_list [ "b" ]) in
+        let j = Prod.join x y in
+        check "join" true (Prod.equal j (3, PS.of_list [ "a"; "b" ]));
+        check "x ⊑ j" true (Prod.leq x j);
+        check "incomparable" false (Prod.leq x y || Prod.leq y x));
+    Alcotest.test_case "decomposition splits components" `Quick (fun () ->
+        let x = (2, PS.of_list [ "a"; "b" ]) in
+        let ds = Prod.decompose x in
+        check_int "three irreducibles" 3 (List.length ds);
+        check "rejoins" true (Dp.is_decomposition ds x);
+        check "each has one live component" true
+          (List.for_all (fun (c, s) -> c = 0 <> PS.is_bottom s) ds));
+  ]
+
+(* -- Lexicographic rule (Tables III-IV) -------------------------------- *)
+
+module Lex = Lexico.Make (Chain.Max_int) (PS)
+
+let lexico_tests =
+  [
+    Alcotest.test_case "higher version wins regardless of payload" `Quick
+      (fun () ->
+        let winner = (2, PS.of_list [ "x" ]) in
+        let loser = (1, PS.of_list [ "a"; "b"; "c" ]) in
+        check "join" true (Lex.equal (Lex.join winner loser) winner);
+        check "order" true (Lex.leq loser winner));
+    Alcotest.test_case "equal versions join payloads" `Quick (fun () ->
+        let x = (2, PS.of_list [ "a" ]) and y = (2, PS.of_list [ "b" ]) in
+        check "join" true
+          (Lex.equal (Lex.join x y) (2, PS.of_list [ "a"; "b" ])));
+    Alcotest.test_case "⟨c,⊥⟩ with c≠⊥ is irreducible" `Quick (fun () ->
+        check_int "single element" 1 (List.length (Lex.decompose (3, PS.bottom)));
+        check "not bottom" false (Lex.is_bottom (3, PS.bottom)));
+    Alcotest.test_case "quotient decomposition ⇓⟨c,a⟩ = {c}×⇓a" `Quick
+      (fun () ->
+        let ds = Lex.decompose (2, PS.of_list [ "a"; "b" ]) in
+        check_int "two" 2 (List.length ds);
+        check "all carry version 2" true (List.for_all (fun (c, _) -> c = 2) ds));
+  ]
+
+(* -- Linear sum rule ---------------------------------------------------- *)
+
+module Sum = Linear_sum.Make (Chain.Max_int) (PS)
+
+let sum_tests =
+  [
+    Alcotest.test_case "Right dominates Left" `Quick (fun () ->
+        let l = Sum.Left 9 and r = Sum.Right (PS.of_list [ "a" ]) in
+        check "order" true (Sum.leq l r);
+        check "join" true (Sum.equal (Sum.join l r) r);
+        check "no reverse" false (Sum.leq r l));
+    Alcotest.test_case "bottom is Left ⊥" `Quick (fun () ->
+        check "bottom" true (Sum.is_bottom (Sum.Left 0));
+        check "Right ⊥ isn't bottom" false (Sum.is_bottom (Sum.Right PS.bottom)));
+    Alcotest.test_case "Right ⊥ is irreducible" `Quick (fun () ->
+        check_int "singleton decomposition" 1
+          (List.length (Sum.decompose (Sum.Right PS.bottom))));
+    Alcotest.test_case "same-side joins are componentwise" `Quick (fun () ->
+        check "left" true
+          (Sum.equal (Sum.join (Sum.Left 2) (Sum.Left 5)) (Sum.Left 5)));
+  ]
+
+(* -- PNCounter: the Appendix C worked example --------------------------- *)
+
+let pn_same expected actual =
+  List.length expected = List.length actual
+  && List.for_all
+       (fun e -> List.exists (fun x -> Pncounter.equal e x) actual)
+       expected
+
+let pncounter_decomposition =
+  [
+    Alcotest.test_case "⇓{A↦⟨2,3⟩,B↦⟨5,5⟩} (Appendix C)" `Quick (fun () ->
+        let p = Pncounter.of_list [ (a, (2, 3)); (b, (5, 5)) ] in
+        let expected =
+          [
+            Pncounter.of_list [ (a, (2, 0)) ];
+            Pncounter.of_list [ (a, (0, 3)) ];
+            Pncounter.of_list [ (b, (5, 0)) ];
+            Pncounter.of_list [ (b, (0, 5)) ];
+          ]
+        in
+        check "matches the paper" true
+          (pn_same expected (Pncounter.decompose p)));
+  ]
+
+(* -- Antichain M(P) ----------------------------------------------------- *)
+
+module Div = struct
+  type t = int
+
+  let leq a b = b mod a = 0
+  let compare = Int.compare
+  let weight _ = 1
+  let byte_size _ = 8
+  let pp ppf = Format.fprintf ppf "%d"
+end
+
+module Ac = Antichain.Make (Div)
+
+let antichain_tests =
+  [
+    Alcotest.test_case "of_list keeps only maximals" `Quick (fun () ->
+        let s = Ac.of_list [ 2; 4; 3; 12 ] in
+        Alcotest.(check (list int)) "maximals" [ 12 ] (Ac.elements s));
+    Alcotest.test_case "join prunes dominated elements" `Quick (fun () ->
+        let s = Ac.join (Ac.of_list [ 2 ]) (Ac.of_list [ 8 ]) in
+        Alcotest.(check (list int)) "join" [ 8 ] (Ac.elements s));
+    Alcotest.test_case "incomparable elements coexist" `Quick (fun () ->
+        let s = Ac.of_list [ 4; 9 ] in
+        Alcotest.(check (list int)) "antichain" [ 4; 9 ] (Ac.elements s);
+        check "leq by domination" true (Ac.leq (Ac.of_list [ 2; 3 ]) s));
+    Alcotest.test_case "insert is a join with a singleton" `Quick (fun () ->
+        let s = Ac.insert 6 (Ac.of_list [ 2; 5 ]) in
+        Alcotest.(check (list int)) "result" [ 5; 6 ] (Ac.elements s));
+  ]
+
+(* -- Map lattice internals --------------------------------------------- *)
+
+module Mm = Map_lattice.Make (Gmap.Int_key) (Chain.Max_int)
+
+let map_tests =
+  [
+    Alcotest.test_case "absent keys read as bottom" `Quick (fun () ->
+        check_int "find" 0 (Mm.find 99 Mm.empty));
+    Alcotest.test_case "bottom values are never stored" `Quick (fun () ->
+        check "singleton ⊥" true (Mm.is_bottom (Mm.singleton 1 0));
+        let m = Mm.set 1 5 Mm.empty in
+        check "set to ⊥ removes" true (Mm.is_bottom (Mm.set 1 0 m)));
+    Alcotest.test_case "join is pointwise max" `Quick (fun () ->
+        let m1 = Mm.of_list [ (1, 5); (2, 1) ] in
+        let m2 = Mm.of_list [ (1, 3); (3, 7) ] in
+        let j = Mm.join m1 m2 in
+        check_int "key 1" 5 (Mm.find 1 j);
+        check_int "key 2" 1 (Mm.find 2 j);
+        check_int "key 3" 7 (Mm.find 3 j));
+    Alcotest.test_case "leq is pointwise" `Quick (fun () ->
+        let m1 = Mm.of_list [ (1, 2) ] in
+        let m2 = Mm.of_list [ (1, 3); (2, 1) ] in
+        check "m1 ⊑ m2" true (Mm.leq m1 m2);
+        check "m2 ⋢ m1" false (Mm.leq m2 m1));
+    Alcotest.test_case "join_entry equals join with singleton" `Quick (fun () ->
+        let m = Mm.of_list [ (1, 2) ] in
+        check "join_entry" true
+          (Mm.equal (Mm.join_entry 1 5 m) (Mm.of_list [ (1, 5) ])));
+    Alcotest.test_case "weight counts entries recursively" `Quick (fun () ->
+        check_int "weight" 2 (Mm.weight (Mm.of_list [ (1, 5); (2, 2) ])));
+  ]
+
+let () =
+  Alcotest.run "compositions"
+    [
+      ("Example 1 (irreducibility)", example_1);
+      ("Example 2 (decompositions)", example_2);
+      ("Fig. 3 Hasse", fig3);
+      ("Product", product_tests);
+      ("Lexico", lexico_tests);
+      ("Linear sum", sum_tests);
+      ("PNCounter (Appendix C)", pncounter_decomposition);
+      ("Antichain", antichain_tests);
+      ("Map lattice", map_tests);
+    ]

@@ -1,0 +1,144 @@
+(* Unit tests for the extension counters: the resettable Cassandra-style
+   counter (Lexico(ℕ, GCounter), Appendix B / [37]) and the bounded
+   counter built from grow-only map compositions. *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+module Rc = Resettable_counter
+
+let resettable_tests =
+  [
+    Alcotest.test_case "increments accumulate" `Quick (fun () ->
+        let x = Rc.(inc a bottom |> inc ~n:4 b) in
+        check_int "value" 5 (Rc.value x);
+        check_int "epoch" 0 (Rc.epoch x));
+    Alcotest.test_case "reset zeroes the value and bumps the epoch" `Quick
+      (fun () ->
+        let x = Rc.(inc ~n:9 a bottom |> reset b) in
+        check_int "value" 0 (Rc.value x);
+        check_int "epoch" 1 (Rc.epoch x);
+        check "inflation" true (Rc.leq (Rc.inc ~n:9 a Rc.bottom) x));
+    Alcotest.test_case "reset wins over concurrent increments" `Quick
+      (fun () ->
+        let base = Rc.inc ~n:3 a Rc.bottom in
+        let incd = Rc.inc ~n:5 b base in
+        let reset = Rc.reset a base in
+        let m = Rc.join incd reset in
+        check "commutes" true (Rc.equal m (Rc.join reset incd));
+        check_int "reset absorbed the increments" 0 (Rc.value m));
+    Alcotest.test_case "increments after a reset survive it" `Quick (fun () ->
+        let x = Rc.(inc ~n:3 a bottom |> reset a |> inc ~n:2 b) in
+        check_int "value" 2 (Rc.value x));
+    Alcotest.test_case "incδ is a single tagged entry" `Quick (fun () ->
+        let x = Rc.(inc ~n:3 a bottom |> inc ~n:8 b) in
+        let d = Rc.delta_mutate (Rc.Inc 1) a x in
+        check_int "weight" 1 (Rc.weight d);
+        check "contract" true
+          (Rc.equal (Rc.mutate (Rc.Inc 1) a x) (Rc.join x d)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x) including resets" `Quick (fun () ->
+        let x = Rc.(inc ~n:3 a bottom |> inc b) in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (Rc.equal (Rc.mutate op b x) (Rc.join x (Rc.delta_mutate op b x))))
+          [ Rc.Inc 2; Rc.Reset ]);
+  ]
+
+module Bc = Bounded_counter
+
+let bounded_tests =
+  [
+    Alcotest.test_case "cannot go below zero" `Quick (fun () ->
+        let x = Bc.inc ~n:3 a Bc.bottom in
+        let x = Bc.dec ~n:5 a x in
+        check_int "dec was a no-op" 3 (Bc.value x);
+        let x = Bc.dec ~n:3 a x in
+        check_int "exact spend ok" 0 (Bc.value x));
+    Alcotest.test_case "rights are per replica" `Quick (fun () ->
+        let x = Bc.inc ~n:10 a Bc.bottom in
+        (* b holds no rights, so its decrement is a no-op. *)
+        check_int "b has none" 0 (Bc.rights_of b x);
+        check_int "unchanged" 10 (Bc.value (Bc.dec ~n:1 b x)));
+    Alcotest.test_case "transfer moves rights" `Quick (fun () ->
+        let x = Bc.inc ~n:10 a Bc.bottom in
+        let x = Bc.transfer ~amount:4 ~target:b a x in
+        check_int "a keeps 6" 6 (Bc.rights_of a x);
+        check_int "b holds 4" 4 (Bc.rights_of b x);
+        let x = Bc.dec ~n:4 b x in
+        check_int "b spent them" 6 (Bc.value x));
+    Alcotest.test_case "self transfer is a no-op" `Quick (fun () ->
+        let x = Bc.inc ~n:2 a Bc.bottom in
+        check "unchanged" true (Bc.equal x (Bc.transfer ~amount:1 ~target:a a x)));
+    Alcotest.test_case "concurrent spends of disjoint rights merge safely"
+      `Quick (fun () ->
+        let base =
+          Bc.inc ~n:5 a Bc.bottom |> Bc.transfer ~amount:2 ~target:b a
+        in
+        let at_a = Bc.dec ~n:3 a base in
+        let at_b = Bc.dec ~n:2 b base in
+        let m = Bc.join at_a at_b in
+        check "commutes" true (Bc.equal m (Bc.join at_b at_a));
+        check_int "value" 0 (Bc.value m);
+        check "never negative" true (Bc.value m >= 0));
+    Alcotest.test_case "deltas carry one entry" `Quick (fun () ->
+        let x = Bc.inc ~n:5 a Bc.bottom in
+        let d = Bc.delta_mutate (Bc.Inc 1) a x in
+        check_int "weight" 1 (Bc.weight d);
+        let d = Bc.delta_mutate (Bc.Dec 2) a x in
+        check_int "weight" 1 (Bc.weight d);
+        check "insufficient dec delta is bottom" true
+          (Bc.is_bottom (Bc.delta_mutate (Bc.Dec 50) a x)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x) for all ops" `Quick (fun () ->
+        let x = Bc.inc ~n:5 a Bc.bottom in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (Bc.equal (Bc.mutate op a x) (Bc.join x (Bc.delta_mutate op a x))))
+          [
+            Bc.Inc 2;
+            Bc.Dec 1;
+            Bc.Dec 99;
+            Bc.Transfer { amount = 1; target = b };
+            Bc.Transfer { amount = 99; target = b };
+          ]);
+  ]
+
+(* End-to-end: replicate a bounded counter over delta BP+RR and check the
+   invariant holds at every replica throughout. *)
+let replication_tests =
+  [
+    Alcotest.test_case "bounded counter never goes negative under sync"
+      `Quick (fun () ->
+        let open Crdt_sim in
+        let module P =
+          Crdt_proto.Delta_sync.Make (Bc) (Crdt_proto.Delta_sync.Bp_rr_config)
+        in
+        let module R = Runner.Make (P) in
+        let topo = Topology.ring 5 in
+        let res =
+          R.run ~equal:Bc.equal ~topology:topo ~rounds:20
+            ~ops:(fun ~round ~node _state ->
+              (* node 0 mints rights and spreads them; everyone spends. *)
+              if node = 0 then
+                [ Bc.Inc 5; Bc.Transfer { amount = 1; target = (round mod 4) + 1 } ]
+              else [ Bc.Dec 1 ])
+            ()
+        in
+        check "converged" true res.R.converged;
+        Array.iter
+          (fun st -> check "non-negative" true (Bc.value st >= 0))
+          res.R.finals);
+  ]
+
+let () =
+  Alcotest.run "extension counters"
+    [
+      ("resettable counter", resettable_tests);
+      ("bounded counter", bounded_tests);
+      ("replication", replication_tests);
+    ]

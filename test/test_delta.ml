@@ -1,0 +1,140 @@
+(* Unit tests for optimal deltas Δ(a,b) (Section III-B), pinned to
+   concrete examples and to the Fig. 4 / Fig. 5 redundancy scenarios. *)
+
+open Crdt_core
+module S = Gset.Of_string
+module Ds = Delta.Make (S)
+module Dc = Delta.Make (Gcounter)
+
+let check = Alcotest.(check bool)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+let set_examples =
+  [
+    Alcotest.test_case "Δ({a,b,c},{b}) = {a,c}" `Quick (fun () ->
+        let d = Ds.delta (S.of_list [ "a"; "b"; "c" ]) (S.of_list [ "b" ]) in
+        Alcotest.(check (list string)) "delta" [ "a"; "c" ] (S.elements d));
+    Alcotest.test_case "Δ(a,b) ⊔ b = a ⊔ b" `Quick (fun () ->
+        let x = S.of_list [ "a"; "b" ] and y = S.of_list [ "b"; "c" ] in
+        check "property" true
+          (S.equal (S.join (Ds.delta x y) y) (S.join x y)));
+    Alcotest.test_case "Δ is exactly set difference on GSets" `Quick (fun () ->
+        let x = S.of_list [ "p"; "q"; "r" ] and y = S.of_list [ "q"; "z" ] in
+        Alcotest.(check (list string))
+          "difference" [ "p"; "r" ]
+          (S.elements (Ds.delta x y)));
+    Alcotest.test_case "redundancy is the intersection" `Quick (fun () ->
+        let x = S.of_list [ "p"; "q"; "r" ] and y = S.of_list [ "q"; "z" ] in
+        Alcotest.(check (list string))
+          "intersection" [ "q" ]
+          (S.elements (Ds.redundancy x y)));
+  ]
+
+let counter_examples =
+  [
+    Alcotest.test_case "Δ keeps only strictly newer entries" `Quick (fun () ->
+        let x = Gcounter.of_list [ (a, 5); (b, 2) ] in
+        let y = Gcounter.of_list [ (a, 3); (b, 2) ] in
+        let d = Dc.delta x y in
+        check "only A's newer entry" true
+          (Gcounter.equal d (Gcounter.of_list [ (a, 5) ])));
+    Alcotest.test_case "Δ against a dominating state is ⊥" `Quick (fun () ->
+        let x = Gcounter.of_list [ (a, 1) ] in
+        let y = Gcounter.of_list [ (a, 9); (b, 3) ] in
+        check "bottom" true (Gcounter.is_bottom (Dc.delta x y)));
+  ]
+
+let minimality =
+  [
+    Alcotest.test_case "Δ is minimum among all states with c ⊔ b = a ⊔ b"
+      `Quick (fun () ->
+        (* Exhaustively enumerate every subset c of {a,b,c,d} and verify
+           the optimality claim of Section III-B on a concrete pair. *)
+        let universe = [ "a"; "b"; "c"; "d" ] in
+        let x = S.of_list [ "a"; "b"; "c" ] and y = S.of_list [ "b"; "d" ] in
+        let delta = Ds.delta x y in
+        let rec subsets = function
+          | [] -> [ [] ]
+          | e :: rest ->
+              let rs = subsets rest in
+              rs @ List.map (fun s -> e :: s) rs
+        in
+        let candidates = List.map S.of_list (subsets universe) in
+        List.iter
+          (fun c ->
+            if S.equal (S.join c y) (S.join x y) then
+              check "Δ ⊑ c for every valid c" true (S.leq delta c))
+          candidates);
+    Alcotest.test_case "δ-mutator derived via Δ equals the optimal addδ"
+      `Quick (fun () ->
+        let s = S.of_list [ "a" ] in
+        let via_delta = Ds.delta_mutator (S.add "a" a) s in
+        check "no-op is bottom" true (S.is_bottom via_delta);
+        let via_delta = Ds.delta_mutator (S.add "z" a) s in
+        check "new element is singleton" true
+          (S.equal via_delta (S.of_list [ "z" ])));
+  ]
+
+(* Fig. 4: two replicas; classic back-propagates B's own δ-group. *)
+let fig4 =
+  [
+    Alcotest.test_case "Fig. 4: RR extraction removes the echoed {b}" `Quick
+      (fun () ->
+        (* A's state after receiving {b} and adding a: {a,b}.  When A's
+           δ-group {a,b} reaches B (whose state is {b,c}), RR extracts
+           exactly {a}. *)
+        let received = S.of_list [ "a"; "b" ] in
+        let local = S.of_list [ "b"; "c" ] in
+        Alcotest.(check (list string))
+          "extracted" [ "a" ]
+          (S.elements (Ds.delta received local)));
+  ]
+
+(* Fig. 5: diamond; C receives {a,b} from A while already knowing {b}. *)
+let fig5 =
+  [
+    Alcotest.test_case "Fig. 5: C forwards only {a} to D under RR" `Quick
+      (fun () ->
+        let received_from_a = S.of_list [ "a"; "b" ] in
+        let c_state = S.of_list [ "b" ] in
+        let to_store = Ds.delta received_from_a c_state in
+        Alcotest.(check (list string)) "buffered" [ "a" ] (S.elements to_store);
+        (* Classic would store the whole received group instead. *)
+        check "classic inflation check passes (d ⋢ x)" true
+          (not (S.leq received_from_a c_state)));
+  ]
+
+(* The decomposition validators used by the property suites deserve
+   their own sanity checks. *)
+let validators =
+  [
+    Alcotest.test_case "is_decomposition accepts the empty set for ⊥"
+      `Quick (fun () -> check "⊥" true (Ds.is_decomposition [] S.bottom));
+    Alcotest.test_case "is_irredundant on the empty set" `Quick (fun () ->
+        check "vacuous" true (Ds.is_irredundant []));
+    Alcotest.test_case "is_irredundant flags duplicated elements" `Quick
+      (fun () ->
+        let s = S.of_list [ "a" ] in
+        check "dup" false (Ds.is_irredundant [ s; s ]));
+    Alcotest.test_case "is_irreducible rejects ⊥ and reducibles" `Quick
+      (fun () ->
+        check "⊥" false (Ds.is_irreducible S.bottom);
+        check "pair" false (Ds.is_irreducible (S.of_list [ "a"; "b" ]));
+        check "singleton" true (Ds.is_irreducible (S.of_list [ "a" ])));
+    Alcotest.test_case "delta_mutator of a no-op mutator is ⊥" `Quick
+      (fun () ->
+        let s = S.of_list [ "a" ] in
+        check "identity" true (S.is_bottom (Ds.delta_mutator Fun.id s)));
+  ]
+
+let () =
+  Alcotest.run "delta"
+    [
+      ("GSet examples", set_examples);
+      ("GCounter examples", counter_examples);
+      ("minimality", minimality);
+      ("Fig. 4", fig4);
+      ("Fig. 5", fig5);
+      ("validators", validators);
+    ]

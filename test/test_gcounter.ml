@@ -1,0 +1,101 @@
+(* Unit tests for the grow-only counter (Fig. 2a). *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+let c = Replica_id.of_int 2
+
+let basics =
+  [
+    Alcotest.test_case "fresh counter reads 0" `Quick (fun () ->
+        check_int "value" 0 (Gcounter.value Gcounter.bottom));
+    Alcotest.test_case "inc tracks per replica" `Quick (fun () ->
+        let p = Gcounter.(inc a bottom |> inc a |> inc b) in
+        check_int "value" 3 (Gcounter.value p);
+        check_int "entry a" 2 (Gcounter.find a p);
+        check_int "entry b" 1 (Gcounter.find b p));
+    Alcotest.test_case "inc ~n adds n" `Quick (fun () ->
+        let p = Gcounter.inc ~n:5 a Gcounter.bottom in
+        check_int "value" 5 (Gcounter.value p));
+    Alcotest.test_case "inc rejects non-positive amounts" `Quick (fun () ->
+        Alcotest.check_raises "zero" (Invalid_argument
+          "Gcounter.inc: increment must be >= 1") (fun () ->
+            ignore (Gcounter.inc ~n:0 a Gcounter.bottom)));
+    Alcotest.test_case "value is the sum over entries" `Quick (fun () ->
+        let p = Gcounter.of_list [ (a, 10); (b, 20); (c, 12) ] in
+        check_int "value" 42 (Gcounter.value p));
+  ]
+
+let join_tests =
+  [
+    Alcotest.test_case "join keeps per-key maxima (Fig. 2a)" `Quick (fun () ->
+        let p1 = Gcounter.of_list [ (a, 3); (b, 1) ] in
+        let p2 = Gcounter.of_list [ (a, 1); (c, 4) ] in
+        let j = Gcounter.join p1 p2 in
+        check_int "a" 3 (Gcounter.find a j);
+        check_int "b" 1 (Gcounter.find b j);
+        check_int "c" 4 (Gcounter.find c j);
+        check_int "value" 8 (Gcounter.value j));
+    Alcotest.test_case "concurrent increments are both counted" `Quick
+      (fun () ->
+        let base = Gcounter.inc a Gcounter.bottom in
+        let at_a = Gcounter.inc a base in
+        let at_b = Gcounter.inc b base in
+        check_int "merged" 3 (Gcounter.value (Gcounter.join at_a at_b)));
+    Alcotest.test_case "duplicate delivery is harmless" `Quick (fun () ->
+        let p = Gcounter.of_list [ (a, 2) ] in
+        let d = Gcounter.inc_delta a p in
+        let once = Gcounter.join p d in
+        check "idempotent" true (Gcounter.equal once (Gcounter.join once d)));
+  ]
+
+let delta_tests =
+  [
+    Alcotest.test_case "incδ returns only the updated entry (Fig. 2a)" `Quick
+      (fun () ->
+        let p = Gcounter.of_list [ (a, 3); (b, 9) ] in
+        let d = Gcounter.inc_delta a p in
+        check_int "one entry" 1 (Gcounter.weight d);
+        check_int "entry value" 4 (Gcounter.find a d));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x)" `Quick (fun () ->
+        let p = Gcounter.of_list [ (a, 3); (b, 9) ] in
+        check "contract" true
+          (Gcounter.equal (Gcounter.inc a p)
+             (Gcounter.join p (Gcounter.inc_delta a p))));
+    Alcotest.test_case "mutate/delta_mutate agree through the op type" `Quick
+      (fun () ->
+        let p = Gcounter.of_list [ (b, 2) ] in
+        let via_op = Gcounter.mutate (Gcounter.Inc 3) b p in
+        let via_delta =
+          Gcounter.join p (Gcounter.delta_mutate (Gcounter.Inc 3) b p)
+        in
+        check "equal" true (Gcounter.equal via_op via_delta);
+        check_int "value" 5 (Gcounter.value via_op));
+  ]
+
+let accounting =
+  [
+    Alcotest.test_case "weight counts map entries (Table I metric)" `Quick
+      (fun () ->
+        check_int "weight" 2
+          (Gcounter.weight (Gcounter.of_list [ (a, 5); (b, 1) ])));
+    Alcotest.test_case "byte size: 20B id + 8B counter per entry" `Quick
+      (fun () ->
+        check_int "bytes" 56
+          (Gcounter.byte_size (Gcounter.of_list [ (a, 5); (b, 1) ])));
+    Alcotest.test_case "op accounting" `Quick (fun () ->
+        check_int "op weight" 1 (Gcounter.op_weight (Gcounter.Inc 1));
+        check_int "op bytes" 8 (Gcounter.op_byte_size (Gcounter.Inc 1)));
+  ]
+
+let () =
+  Alcotest.run "gcounter"
+    [
+      ("basics", basics);
+      ("join", join_tests);
+      ("deltas", delta_tests);
+      ("accounting", accounting);
+    ]

@@ -1,0 +1,130 @@
+(* Unit tests for the grow-only map of CRDTs, including the nested
+   optimal-delta behaviour and the GMap K% benchmark instance. *)
+
+open Crdt_core
+module G = Gmap.Versioned
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let i = Replica_id.of_int 0
+let j = Replica_id.of_int 1
+
+let basics =
+  [
+    Alcotest.test_case "absent key reads bottom" `Quick (fun () ->
+        check_int "find" 0 (G.find 7 G.empty);
+        check "mem" false (G.mem 7 G.empty));
+    Alcotest.test_case "apply bump creates and inflates entries" `Quick
+      (fun () ->
+        let m = G.apply 7 Version.Bump i G.empty in
+        check_int "version" 1 (G.find 7 m);
+        let m = G.apply 7 Version.Bump i m in
+        check_int "version 2" 2 (G.find 7 m);
+        check_int "cardinal" 1 (G.cardinal m));
+    Alcotest.test_case "keys accumulate, never vanish" `Quick (fun () ->
+        let m = G.apply 1 Version.Bump i G.empty in
+        let m = G.apply 2 Version.Bump i m in
+        Alcotest.(check (list int)) "keys" [ 1; 2 ] (G.keys m));
+  ]
+
+let delta_tests =
+  [
+    Alcotest.test_case "update delta is a singleton map" `Quick (fun () ->
+        let m = G.of_list [ (1, 5); (2, 2) ] in
+        let d = G.apply_delta 1 Version.Bump i m in
+        check_int "one entry" 1 (G.cardinal d);
+        check_int "bumped" 6 (G.find 1 d));
+    Alcotest.test_case "no-op update yields bottom delta" `Quick (fun () ->
+        let m = G.of_list [ (1, 5) ] in
+        let d = G.apply_delta 1 (Version.Raise_to 3) i m in
+        check "bottom" true (G.is_bottom d));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x) through nesting" `Quick (fun () ->
+        let m = G.of_list [ (1, 5); (2, 2) ] in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (G.equal (G.mutate op i m) (G.join m (G.delta_mutate op i m))))
+          [
+            G.Apply (1, Version.Bump);
+            G.Apply (9, Version.Bump);
+            G.Apply (2, Version.Raise_to 10);
+          ]);
+  ]
+
+(* Nested: GMap of GSet values — deltas localize to the inner change. *)
+module Inner = Gset.Of_string
+module Nested = Gmap.Make (Gmap.Int_key) (Inner)
+
+let nested_tests =
+  [
+    Alcotest.test_case "nested delta carries only the new element" `Quick
+      (fun () ->
+        let m = Nested.apply 1 "a" i Nested.empty in
+        let m = Nested.apply 1 "b" i m in
+        let d = Nested.apply_delta 1 "c" i m in
+        check_int "weight 1" 1 (Nested.weight d);
+        check "contains only c" true
+          (Inner.equal (Nested.find 1 d) (Inner.of_list [ "c" ])));
+    Alcotest.test_case "nested no-op yields bottom" `Quick (fun () ->
+        let m = Nested.apply 1 "a" i Nested.empty in
+        check "bottom" true (Nested.is_bottom (Nested.apply_delta 1 "a" i m)));
+    Alcotest.test_case "concurrent updates to different keys merge" `Quick
+      (fun () ->
+        let base = Nested.empty in
+        let at_i = Nested.apply 1 "x" i base in
+        let at_j = Nested.apply 2 "y" j base in
+        let m = Nested.join at_i at_j in
+        check "key 1" true (Inner.mem "x" (Nested.find 1 m));
+        check "key 2" true (Inner.mem "y" (Nested.find 2 m)));
+    Alcotest.test_case "concurrent updates to the same key merge" `Quick
+      (fun () ->
+        let at_i = Nested.apply 1 "x" i Nested.empty in
+        let at_j = Nested.apply 1 "y" j Nested.empty in
+        let m = Nested.join at_i at_j in
+        Alcotest.(check (list string))
+          "both" [ "x"; "y" ]
+          (Inner.elements (Nested.find 1 m)));
+  ]
+
+let workload_tests =
+  [
+    Alcotest.test_case "GMap K% blocks are disjoint within a round" `Quick
+      (fun () ->
+        let nodes = 15 and total_keys = 1000 and k = 60 in
+        let all =
+          List.concat_map
+            (fun node ->
+              Crdt_sim.Workload.gmap_keys ~total_keys ~k ~nodes ~round:0 ~node)
+            (List.init nodes Fun.id)
+        in
+        let dedup = List.sort_uniq Int.compare all in
+        check_int "no overlap" (List.length all) (List.length dedup));
+    Alcotest.test_case "GMap K% touches ~K% of keys per round" `Quick
+      (fun () ->
+        let nodes = 15 and total_keys = 1000 in
+        List.iter
+          (fun k ->
+            let touched =
+              List.concat_map
+                (fun node ->
+                  Crdt_sim.Workload.gmap_keys ~total_keys ~k ~nodes ~round:3
+                    ~node)
+                (List.init nodes Fun.id)
+              |> List.sort_uniq Int.compare |> List.length
+            in
+            let expected = total_keys * k / 100 in
+            check
+              (Printf.sprintf "k=%d touched=%d" k touched)
+              true
+              (abs (touched - expected) * 100 / total_keys <= 5))
+          [ 10; 30; 60; 100 ]);
+  ]
+
+let () =
+  Alcotest.run "gmap"
+    [
+      ("basics", basics);
+      ("deltas", delta_tests);
+      ("nested", nested_tests);
+      ("K% workload", workload_tests);
+    ]

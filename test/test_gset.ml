@@ -1,0 +1,77 @@
+(* Unit tests for the grow-only set (Fig. 2b), including the optimal
+   vs. naive δ-mutator distinction of Section III-B. *)
+
+open Crdt_core
+module S = Gset.Of_string
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let i = Replica_id.of_int 0
+
+let basics =
+  [
+    Alcotest.test_case "fresh set is empty" `Quick (fun () ->
+        check_int "cardinal" 0 (S.cardinal S.bottom);
+        Alcotest.(check (list string)) "elements" [] (S.elements S.bottom));
+    Alcotest.test_case "add then mem" `Quick (fun () ->
+        let s = S.add "x" i S.bottom in
+        check "mem" true (S.mem "x" s);
+        check "not mem" false (S.mem "y" s));
+    Alcotest.test_case "value is the set itself (Fig. 2b)" `Quick (fun () ->
+        let s = S.of_list [ "b"; "a" ] in
+        Alcotest.(check (list string)) "sorted" [ "a"; "b" ] (S.elements s));
+    Alcotest.test_case "join is set union" `Quick (fun () ->
+        let s = S.join (S.of_list [ "a"; "b" ]) (S.of_list [ "b"; "c" ]) in
+        Alcotest.(check (list string)) "union" [ "a"; "b"; "c" ] (S.elements s));
+    Alcotest.test_case "leq is subset" `Quick (fun () ->
+        check "subset" true (S.leq (S.of_list [ "a" ]) (S.of_list [ "a"; "b" ]));
+        check "not subset" false
+          (S.leq (S.of_list [ "z" ]) (S.of_list [ "a"; "b" ])));
+  ]
+
+let delta_tests =
+  [
+    Alcotest.test_case "addδ of a new element is a singleton" `Quick (fun () ->
+        let s = S.of_list [ "a" ] in
+        let d = S.add_delta "b" s in
+        Alcotest.(check (list string)) "singleton" [ "b" ] (S.elements d));
+    Alcotest.test_case "addδ of a present element is ⊥ (optimal)" `Quick
+      (fun () ->
+        let s = S.of_list [ "a" ] in
+        check "bottom" true (S.is_bottom (S.add_delta "a" s)));
+    Alcotest.test_case "naive δ-mutator from [13] is not optimal" `Quick
+      (fun () ->
+        let s = S.of_list [ "a" ] in
+        let naive = S.add_delta_naive "a" s in
+        check "returns a redundant singleton" false (S.is_bottom naive);
+        (* Both still satisfy m(x) = x ⊔ mδ(x)… *)
+        check "same result" true
+          (S.equal (S.join s naive) (S.add "a" i s));
+        (* …but the optimal one is strictly below the naive one. *)
+        check "optimal ⊑ naive, not equal" true
+          (S.leq (S.add_delta "a" s) naive
+          && not (S.equal (S.add_delta "a" s) naive)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x) for all adds" `Quick (fun () ->
+        let s = S.of_list [ "a"; "b" ] in
+        List.iter
+          (fun e ->
+            check e true
+              (S.equal (S.add e i s) (S.join s (S.add_delta e s))))
+          [ "a"; "b"; "c"; "d" ]);
+  ]
+
+let accounting =
+  [
+    Alcotest.test_case "weight counts elements (Table I metric)" `Quick
+      (fun () ->
+        check_int "weight" 3 (S.weight (S.of_list [ "a"; "b"; "c" ])));
+    Alcotest.test_case "byte size sums element sizes" `Quick (fun () ->
+        check_int "bytes" 6 (S.byte_size (S.of_list [ "ab"; "cdef" ])));
+    Alcotest.test_case "op accounting" `Quick (fun () ->
+        check_int "op weight" 1 (S.op_weight "abc");
+        check_int "op bytes" 3 (S.op_byte_size "abc"));
+  ]
+
+let () =
+  Alcotest.run "gset"
+    [ ("basics", basics); ("deltas", delta_tests); ("accounting", accounting) ]

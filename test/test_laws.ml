@@ -1,0 +1,358 @@
+(* Instantiates the generic lattice/decomposition/delta laws (laws.ml)
+   for every lattice and CRDT in the library, including deep composites,
+   exercising the composition rules of Appendix C. *)
+
+open Crdt_core
+module Gen = QCheck.Gen
+
+(* -- Generators -------------------------------------------------------- *)
+
+let replica = Gen.map Replica_id.of_int (Gen.int_bound 4)
+let small_int = Gen.int_bound 20
+let small_string = Gen.map (fun n -> String.make n 'a') (Gen.int_bound 5)
+
+module Max_int_laws =
+  Laws.Make
+    (Chain.Max_int)
+    (struct
+      let name = "Max_int"
+      let gen = small_int
+    end)
+
+module Max_string_laws =
+  Laws.Make
+    (Chain.Max_string)
+    (struct
+      let name = "Max_string"
+      let gen = small_string
+    end)
+
+module Bool_laws =
+  Laws.Make
+    (Chain.Bool_or)
+    (struct
+      let name = "Bool_or"
+      let gen = Gen.bool
+    end)
+
+module Gset_laws =
+  Laws.Make
+    (Gset.Of_int)
+    (struct
+      let name = "GSet<int>"
+      let gen = Gen.map Gset.Of_int.of_list (Gen.small_list (Gen.int_bound 30))
+    end)
+
+let gcounter_gen =
+  Gen.map Gcounter.of_list
+    (Gen.small_list (Gen.pair replica (Gen.int_range 1 10)))
+
+module Gcounter_laws =
+  Laws.Make
+    (Gcounter)
+    (struct
+      let name = "GCounter"
+      let gen = gcounter_gen
+    end)
+
+module Pncounter_laws =
+  Laws.Make
+    (Pncounter)
+    (struct
+      let name = "PNCounter"
+
+      let gen =
+        Gen.map Pncounter.of_list
+          (Gen.small_list
+             (Gen.pair replica (Gen.pair (Gen.int_bound 9) (Gen.int_bound 9))))
+    end)
+
+module Pair = Product.Make (Chain.Max_int) (Gset.Of_int)
+
+let gset_gen = Gen.map Gset.Of_int.of_list (Gen.small_list (Gen.int_bound 15))
+
+module Product_laws =
+  Laws.Make
+    (Pair)
+    (struct
+      let name = "Max_int × GSet"
+      let gen = Gen.pair small_int gset_gen
+    end)
+
+module Lex = Lexico.Make (Chain.Max_int) (Gset.Of_int)
+
+module Lexico_laws =
+  Laws.Make
+    (Lex)
+    (struct
+      let name = "Max_int ⋉ GSet"
+      let gen = Gen.pair (Gen.int_bound 3) gset_gen
+    end)
+
+module Sum = Linear_sum.Make (Gset.Of_int) (Gset.Of_int)
+
+module Linear_sum_laws =
+  Laws.Make
+    (Sum)
+    (struct
+      let name = "GSet ⊕ GSet"
+
+      let gen =
+        Gen.oneof
+          [
+            Gen.map (fun s -> Sum.Left s) gset_gen;
+            Gen.map (fun s -> Sum.Right s) gset_gen;
+          ]
+    end)
+
+module Gmap_laws =
+  Laws.Make
+    (Gmap.Versioned)
+    (struct
+      let name = "GMap<int,Version>"
+
+      let gen =
+        Gen.map Gmap.Versioned.of_list
+          (Gen.small_list (Gen.pair (Gen.int_bound 5) (Gen.int_bound 5)))
+    end)
+
+module Tps = Two_pset.Make (Powerset.Int_elt)
+
+module Two_pset_laws =
+  Laws.Make
+    (Tps)
+    (struct
+      let name = "2PSet<int>"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun e -> Tps.Add e) (Gen.int_bound 10);
+              Gen.map (fun e -> Tps.Remove e) (Gen.int_bound 10);
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun s op -> Tps.mutate op (Replica_id.of_int 0) s)
+              Tps.bottom ops)
+          (Gen.small_list op)
+    end)
+
+module Lww_laws =
+  Laws.Make
+    (Lww_register)
+    (struct
+      let name = "LWW register"
+      let gen = Gen.pair (Gen.int_bound 6) small_string
+    end)
+
+module Flag_laws =
+  Laws.Make
+    (Epoch_flag)
+    (struct
+      let name = "Epoch flag"
+      let gen = Gen.pair (Gen.int_bound 4) Gen.bool
+    end)
+
+let mv_gen =
+  let write = Gen.pair replica small_string in
+  Gen.map
+    (fun writes ->
+      (* Interleave sequential writes with joins of divergent replicas to
+         reach states holding concurrent values. *)
+      List.fold_left
+        (fun (acc, reg) (i, s) ->
+          let reg' = Mv_register.mutate (Mv_register.Write s) i reg in
+          (Mv_register.join acc reg', reg'))
+        (Mv_register.bottom, Mv_register.bottom)
+        writes
+      |> fst)
+    (Gen.small_list write)
+
+module Mv_laws =
+  Laws.Make
+    (Mv_register)
+    (struct
+      let name = "MV register"
+      let gen = mv_gen
+    end)
+
+(* Antichains over the divisibility order on positive integers: a
+   genuinely partial order unrelated to any CRDT, stressing M(P). *)
+module Divisibility = struct
+  type t = int
+
+  let leq a b = b mod a = 0
+  let compare = Int.compare
+  let weight _ = 1
+  let byte_size _ = 8
+  let pp ppf = Format.fprintf ppf "%d"
+end
+
+module Div_chain = Antichain.Make (Divisibility)
+
+module Antichain_laws =
+  Laws.Make
+    (Div_chain)
+    (struct
+      let name = "M(divisibility)"
+
+      let gen =
+        Gen.map Div_chain.of_list (Gen.small_list (Gen.int_range 1 60))
+    end)
+
+(* Deep composite: map of user ids to (counter × lexicographic
+   register), the shape of real application state. *)
+module Deep_value = Product.Make (Gcounter) (Lex)
+module Deep = Map_lattice.Make (Gmap.Int_key) (Deep_value)
+
+module Deep_laws =
+  Laws.Make
+    (Deep)
+    (struct
+      let name = "Map<int, GCounter × (ℕ ⋉ GSet)>"
+
+      let gen =
+        Gen.map Deep.of_list
+          (Gen.small_list
+             (Gen.pair (Gen.int_bound 3)
+                (Gen.pair gcounter_gen (Gen.pair (Gen.int_bound 3) gset_gen))))
+    end)
+
+module Aw = Aw_set.Of_string
+
+module Aw_laws =
+  Laws.Make
+    (Aw)
+    (struct
+      let name = "AW OR-Set"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun e -> Aw.Add (String.make 1 e))
+                (Gen.char_range 'a' 'd');
+              Gen.map (fun e -> Aw.Remove (String.make 1 e))
+                (Gen.char_range 'a' 'd');
+            ]
+        in
+        (* Mix sequential mutation with joins of divergent replicas so
+           concurrent add/remove patterns appear in generated states. *)
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun (acc, st) (i, op) ->
+                let st' = Aw.mutate op i st in
+                (Aw.join acc st', st'))
+              (Aw.bottom, Aw.bottom) ops
+            |> fst)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+module Resettable_laws =
+  Laws.Make
+    (Resettable_counter)
+    (struct
+      let name = "Resettable counter"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun n -> Resettable_counter.Inc (n + 1)) (Gen.int_bound 5);
+              Gen.return Resettable_counter.Reset;
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun x (i, op) -> Resettable_counter.mutate op i x)
+              Resettable_counter.bottom ops)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+module Bounded_laws =
+  Laws.Make
+    (Bounded_counter)
+    (struct
+      let name = "Bounded counter"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun n -> Bounded_counter.Inc (n + 1)) (Gen.int_bound 5);
+              Gen.map (fun n -> Bounded_counter.Dec (n + 1)) (Gen.int_bound 5);
+              Gen.map
+                (fun (n, t) ->
+                  Bounded_counter.Transfer
+                    { amount = n + 1; target = Replica_id.of_int t })
+                (Gen.pair (Gen.int_bound 3) (Gen.int_bound 4));
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun x (i, op) -> Bounded_counter.mutate op i x)
+              Bounded_counter.bottom ops)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+module User_laws =
+  Laws.Make
+    (Crdt_retwis.User_state)
+    (struct
+      let name = "Retwis user state"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun u -> Crdt_retwis.User_state.Follow u) (Gen.int_bound 9);
+              Gen.map
+                (fun n ->
+                  Crdt_retwis.User_state.Post
+                    { tweet_id = Printf.sprintf "t%d" n; content = "c" })
+                (Gen.int_bound 9);
+              Gen.map
+                (fun ts ->
+                  Crdt_retwis.User_state.Timeline_add
+                    { timestamp = ts; tweet_id = "t" })
+                (Gen.int_bound 9);
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun st (i, op) -> Crdt_retwis.User_state.mutate op i st)
+              Crdt_retwis.User_state.bottom ops)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+let () =
+  Alcotest.run "lattice laws"
+    [
+      ("Max_int", Max_int_laws.suite);
+      ("Max_string", Max_string_laws.suite);
+      ("Bool_or", Bool_laws.suite);
+      ("GSet", Gset_laws.suite);
+      ("GCounter", Gcounter_laws.suite);
+      ("PNCounter", Pncounter_laws.suite);
+      ("Product", Product_laws.suite);
+      ("Lexico", Lexico_laws.suite);
+      ("Linear_sum", Linear_sum_laws.suite);
+      ("GMap", Gmap_laws.suite);
+      ("2PSet", Two_pset_laws.suite);
+      ("LWW", Lww_laws.suite);
+      ("Epoch_flag", Flag_laws.suite);
+      ("MV_register", Mv_laws.suite);
+      ("Antichain", Antichain_laws.suite);
+      ("Deep composite", Deep_laws.suite);
+      ("AW OR-Set", Aw_laws.suite);
+      ("Resettable counter", Resettable_laws.suite);
+      ("Bounded counter", Bounded_laws.suite);
+      ("Retwis user", User_laws.suite);
+    ]

@@ -1,0 +1,74 @@
+(* Unit tests for the positive-negative counter (Appendix C). *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+let basics =
+  [
+    Alcotest.test_case "value = increments - decrements" `Quick (fun () ->
+        let p = Pncounter.(inc a bottom |> inc a |> dec a |> inc b) in
+        check_int "value" 2 (Pncounter.value p));
+    Alcotest.test_case "can go negative" `Quick (fun () ->
+        let p = Pncounter.(dec ~n:5 a bottom) in
+        check_int "value" (-5) (Pncounter.value p));
+    Alcotest.test_case "invalid amounts rejected" `Quick (fun () ->
+        Alcotest.check_raises "inc 0"
+          (Invalid_argument "Pncounter.inc: increment must be >= 1") (fun () ->
+            ignore (Pncounter.inc ~n:0 a Pncounter.bottom));
+        Alcotest.check_raises "dec 0"
+          (Invalid_argument "Pncounter.dec: decrement must be >= 1") (fun () ->
+            ignore (Pncounter.dec ~n:0 a Pncounter.bottom)));
+  ]
+
+let convergence =
+  [
+    Alcotest.test_case "concurrent inc/dec converge" `Quick (fun () ->
+        let base = Pncounter.inc ~n:2 a Pncounter.bottom in
+        let at_a = Pncounter.dec a base in
+        let at_b = Pncounter.inc ~n:3 b base in
+        let m1 = Pncounter.join at_a at_b in
+        let m2 = Pncounter.join at_b at_a in
+        check "commutes" true (Pncounter.equal m1 m2);
+        check_int "value" 4 (Pncounter.value m1));
+    Alcotest.test_case "join never loses increments or decrements" `Quick
+      (fun () ->
+        let p1 = Pncounter.of_list [ (a, (5, 2)) ] in
+        let p2 = Pncounter.of_list [ (a, (3, 4)) ] in
+        let j = Pncounter.join p1 p2 in
+        check "entry max-joined" true
+          (Pncounter.equal j (Pncounter.of_list [ (a, (5, 4)) ])));
+  ]
+
+let delta_tests =
+  [
+    Alcotest.test_case "incδ carries only the inc component" `Quick (fun () ->
+        let p = Pncounter.of_list [ (a, (2, 3)) ] in
+        let d = Pncounter.delta_mutate (Pncounter.Inc 1) a p in
+        check "delta" true (Pncounter.equal d (Pncounter.of_list [ (a, (3, 0)) ])));
+    Alcotest.test_case "decδ carries only the dec component" `Quick (fun () ->
+        let p = Pncounter.of_list [ (a, (2, 3)) ] in
+        let d = Pncounter.delta_mutate (Pncounter.Dec 2) a p in
+        check "delta" true
+          (Pncounter.equal d (Pncounter.of_list [ (a, (0, 5)) ])));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x)" `Quick (fun () ->
+        let p = Pncounter.of_list [ (a, (2, 3)); (b, (5, 5)) ] in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (Pncounter.equal
+                 (Pncounter.mutate op b p)
+                 (Pncounter.join p (Pncounter.delta_mutate op b p))))
+          [ Pncounter.Inc 1; Pncounter.Dec 1; Pncounter.Inc 7 ]);
+  ]
+
+let () =
+  Alcotest.run "pncounter"
+    [
+      ("basics", basics);
+      ("convergence", convergence);
+      ("deltas", delta_tests);
+    ]

@@ -1,0 +1,160 @@
+(* Property-based end-to-end convergence: random connected topologies,
+   random operation schedules, random transport faults — every protocol
+   must still drive all replicas to the same state (strong eventual
+   consistency). *)
+
+open Crdt_core
+open Crdt_sim
+module Gen = QCheck.Gen
+
+module Si = Gset.Of_int
+
+(* Random connected graph: a random spanning tree plus random extra
+   edges. *)
+let topology_gen =
+  let open Gen in
+  int_range 3 10 >>= fun n ->
+  list_size (int_bound (n * 2)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+  >>= fun extra ->
+  (* attach node i to a random earlier node: spanning tree. *)
+  let tree_edges =
+    List.init (n - 1) (fun i ->
+        let child = i + 1 in
+        (child, child * 7919 mod (i + 1)))
+  in
+  let edges =
+    tree_edges
+    @ List.filter_map
+        (fun (a, b) -> if a <> b then Some (a, b) else None)
+        extra
+  in
+  return (Topology.of_edges ~name:"random" ~n edges)
+
+(* Schedule: per round and node, how many unique elements to add
+   (0-2). *)
+let schedule_gen =
+  Gen.(
+    pair (int_range 1 8)
+      (array_size (return 64) (int_bound 2)))
+
+type faultspec = { dup : float; shuffle : bool }
+
+let fault_gen =
+  Gen.(
+    pair (float_bound_inclusive 0.5) bool
+    |> map (fun (dup, shuffle) -> { dup; shuffle }))
+
+let arb =
+  QCheck.make
+    ~print:(fun (t, (rounds, _), f) ->
+      Printf.sprintf "n=%d rounds=%d dup=%.2f shuffle=%b" (Topology.size t)
+        rounds f.dup f.shuffle)
+    Gen.(triple topology_gen schedule_gen fault_gen)
+
+module Check (P : Crdt_proto.Protocol_intf.PROTOCOL
+                with type crdt = Si.t
+                 and type op = int) =
+struct
+  module R = Runner.Make (P)
+
+  let converges (topo, (rounds, counts), f) =
+    let n = Topology.size topo in
+    let ops ~round ~node _ =
+      let how_many =
+        counts.((round * n + node) mod Array.length counts)
+      in
+      List.init how_many (fun k ->
+          (round * 1_000_003) + (node * 971) + k)
+    in
+    let faults =
+      {
+        R.no_faults with
+        duplicate = f.dup;
+        shuffle = f.shuffle;
+        rng = Random.State.make [| 42 |];
+      }
+    in
+    let res =
+      R.run ~faults ~quiesce_limit:128 ~equal:Si.equal ~topology:topo ~rounds
+        ~ops ()
+    in
+    res.R.converged
+end
+
+module C_classic =
+  Check (Crdt_proto.Delta_sync.Make (Si) (Crdt_proto.Delta_sync.Classic_config))
+module C_bprr =
+  Check (Crdt_proto.Delta_sync.Make (Si) (Crdt_proto.Delta_sync.Bp_rr_config))
+module C_state = Check (Crdt_proto.State_sync.Make (Si))
+module C_sbgc =
+  Check (Crdt_proto.Scuttlebutt.Make (Si) (Crdt_proto.Scuttlebutt.Gc_config))
+module C_op = Check (Crdt_proto.Op_sync.Make (Si))
+
+let prop name f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:40 ~name arb f)
+
+(* The same property over a remove-capable type: random interleavings of
+   adds and observed-removes on the OR-Set must still converge, with the
+   same faults injected. *)
+module Aw = Crdt_core.Aw_set.Of_int
+
+module Check_aw (P : Crdt_proto.Protocol_intf.PROTOCOL
+                   with type crdt = Aw.t
+                    and type op = Aw.op) =
+struct
+  module R = Runner.Make (P)
+
+  let converges (topo, (rounds, counts), f) =
+    let n = Topology.size topo in
+    let ops ~round ~node state =
+      let roll = counts.((round * n + node) mod Array.length counts) in
+      let add = Aw.Add ((round * 1_000_003) + (node * 971)) in
+      if roll = 0 then []
+      else if roll = 1 then [ add ]
+      else
+        (* add one element and remove one currently visible. *)
+        match Aw.value state with
+        | v :: _ -> [ add; Aw.Remove v ]
+        | [] -> [ add ]
+    in
+    let faults =
+      {
+        R.no_faults with
+        duplicate = f.dup;
+        shuffle = f.shuffle;
+        rng = Random.State.make [| 43 |];
+      }
+    in
+    let res =
+      R.run ~faults ~quiesce_limit:128 ~equal:Aw.equal ~topology:topo ~rounds
+        ~ops ()
+    in
+    res.R.converged
+end
+
+module A_classic =
+  Check_aw
+    (Crdt_proto.Delta_sync.Make (Aw) (Crdt_proto.Delta_sync.Classic_config))
+module A_bprr =
+  Check_aw (Crdt_proto.Delta_sync.Make (Aw) (Crdt_proto.Delta_sync.Bp_rr_config))
+module A_sbgc =
+  Check_aw (Crdt_proto.Scuttlebutt.Make (Aw) (Crdt_proto.Scuttlebutt.Gc_config))
+
+let () =
+  Alcotest.run "random convergence"
+    [
+      ( "strong eventual consistency (GSet)",
+        [
+          prop "state-based converges" C_state.converges;
+          prop "delta-classic converges" C_classic.converges;
+          prop "delta-bp+rr converges" C_bprr.converges;
+          prop "scuttlebutt-gc converges" C_sbgc.converges;
+          prop "op-based converges" C_op.converges;
+        ] );
+      ( "strong eventual consistency (OR-Set, adds + removes)",
+        [
+          prop "delta-classic converges" A_classic.converges;
+          prop "delta-bp+rr converges" A_bprr.converges;
+          prop "scuttlebutt-gc converges" A_sbgc.converges;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+(* Unit tests for the register CRDTs: LWW register (lexicographic
+   single-writer construction), epoch flag, and the MV-register built on
+   the antichain composition. *)
+
+open Crdt_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+let a = Replica_id.of_int 0
+let b = Replica_id.of_int 1
+
+let lww_tests =
+  [
+    Alcotest.test_case "write bumps timestamp and replaces value" `Quick
+      (fun () ->
+        let r = Lww_register.write "hello" a Lww_register.bottom in
+        check_str "value" "hello" (Lww_register.value r);
+        check_int "ts" 1 (Lww_register.timestamp r);
+        let r = Lww_register.write "bye" a r in
+        check_str "value" "bye" (Lww_register.value r);
+        check_int "ts" 2 (Lww_register.timestamp r));
+    Alcotest.test_case "newer timestamp wins on merge" `Quick (fun () ->
+        let r1 = Lww_register.write "old" a Lww_register.bottom in
+        let r2 = Lww_register.write "new" b r1 in
+        check_str "merge" "new"
+          (Lww_register.value (Lww_register.join r1 r2)));
+    Alcotest.test_case "concurrent writes tie-break deterministically" `Quick
+      (fun () ->
+        let r1 = Lww_register.write "apple" a Lww_register.bottom in
+        let r2 = Lww_register.write "zebra" b Lww_register.bottom in
+        let m1 = Lww_register.join r1 r2 and m2 = Lww_register.join r2 r1 in
+        check "commutes" true (Lww_register.equal m1 m2);
+        check_str "max payload wins" "zebra" (Lww_register.value m1));
+    Alcotest.test_case "writes are inflations" `Quick (fun () ->
+        let r = Lww_register.write "x" a Lww_register.bottom in
+        check "inflation" true
+          (Lww_register.leq r (Lww_register.write "y" a r)));
+  ]
+
+let flag_tests =
+  [
+    Alcotest.test_case "starts disabled" `Quick (fun () ->
+        check "value" false (Epoch_flag.value Epoch_flag.bottom));
+    Alcotest.test_case "enable then read" `Quick (fun () ->
+        check "enabled" true
+          (Epoch_flag.value (Epoch_flag.enable a Epoch_flag.bottom)));
+    Alcotest.test_case "disable dominates earlier concurrent enable" `Quick
+      (fun () ->
+        let on = Epoch_flag.enable a Epoch_flag.bottom in
+        let off = Epoch_flag.disable b on in
+        check "off" false (Epoch_flag.value (Epoch_flag.join on off)));
+    Alcotest.test_case "enables within an epoch merge to enabled" `Quick
+      (fun () ->
+        let on1 = Epoch_flag.enable a Epoch_flag.bottom in
+        let on2 = Epoch_flag.enable b Epoch_flag.bottom in
+        check "on" true (Epoch_flag.value (Epoch_flag.join on1 on2)));
+    Alcotest.test_case "disable of a disabled flag is a no-op" `Quick
+      (fun () ->
+        let off = Epoch_flag.disable a Epoch_flag.bottom in
+        check "no epoch bump" true (Epoch_flag.equal off Epoch_flag.bottom));
+  ]
+
+let mv_tests =
+  [
+    Alcotest.test_case "single write reads back" `Quick (fun () ->
+        let r = Mv_register.write "v" a Mv_register.bottom in
+        Alcotest.(check (list string)) "values" [ "v" ] (Mv_register.values r));
+    Alcotest.test_case "concurrent writes are both kept" `Quick (fun () ->
+        let r1 = Mv_register.write "x" a Mv_register.bottom in
+        let r2 = Mv_register.write "y" b Mv_register.bottom in
+        let m = Mv_register.join r1 r2 in
+        check_int "two values" 2 (List.length (Mv_register.values m)));
+    Alcotest.test_case "a later write subsumes what it saw" `Quick (fun () ->
+        let r1 = Mv_register.write "x" a Mv_register.bottom in
+        let r2 = Mv_register.write "y" b Mv_register.bottom in
+        let m = Mv_register.join r1 r2 in
+        let resolved = Mv_register.write "winner" a m in
+        Alcotest.(check (list string))
+          "collapsed" [ "winner" ]
+          (Mv_register.values resolved);
+        check "dominates" true (Mv_register.leq m resolved));
+    Alcotest.test_case "writes are inflations" `Quick (fun () ->
+        let r = Mv_register.write "x" a Mv_register.bottom in
+        check "inflation" true (Mv_register.leq r (Mv_register.write "y" b r)));
+    Alcotest.test_case "delta of a write is the tagged singleton" `Quick
+      (fun () ->
+        let r = Mv_register.write "x" a Mv_register.bottom in
+        let d = Mv_register.delta_mutate (Mv_register.Write "y") b r in
+        check_int "weight" 1 (Mv_register.weight d);
+        check "merge = mutate" true
+          (Mv_register.equal
+             (Mv_register.join r d)
+             (Mv_register.mutate (Mv_register.Write "y") b r)));
+  ]
+
+(* End-to-end: replicate each register CRDT over delta BP+RR. *)
+module Replication (C : Lattice_intf.CRDT) = struct
+  open Crdt_sim
+  module P = Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Bp_rr_config)
+  module R = Runner.Make (P)
+
+  let run ops =
+    let topo = Topology.ring 5 in
+    let res = R.run ~equal:C.equal ~topology:topo ~rounds:10 ~ops () in
+    (res.R.converged, res.R.finals.(0))
+end
+
+module Lww_repl = Replication (Lww_register)
+module Mv_repl = Replication (Mv_register)
+module Flag_repl = Replication (Epoch_flag)
+
+let replication_tests =
+  [
+    Alcotest.test_case "LWW registers converge to one winner" `Quick
+      (fun () ->
+        let converged, final =
+          Lww_repl.run (fun ~round ~node _ ->
+              [ Lww_register.Write (Printf.sprintf "v-%d-%d" round node) ])
+        in
+        check "converged" true converged;
+        check "some winner" true (Lww_register.value final <> ""));
+    Alcotest.test_case "MV registers converge to the same frontier" `Quick
+      (fun () ->
+        let converged, final =
+          Mv_repl.run (fun ~round ~node _ ->
+              if round < 3 then
+                [ Mv_register.Write (Printf.sprintf "w-%d-%d" round node) ]
+              else [])
+        in
+        check "converged" true converged;
+        check "non-empty" true (Mv_register.values final <> []));
+    Alcotest.test_case "epoch flags converge" `Quick (fun () ->
+        let converged, _ =
+          Flag_repl.run (fun ~round ~node _ ->
+              match (round + node) mod 3 with
+              | 0 -> [ Epoch_flag.Enable ]
+              | 1 -> [ Epoch_flag.Disable ]
+              | _ -> [])
+        in
+        check "converged" true converged);
+  ]
+
+let () =
+  Alcotest.run "registers"
+    [
+      ("LWW", lww_tests);
+      ("Epoch flag", flag_tests);
+      ("MV register", mv_tests);
+      ("replication", replication_tests);
+    ]

@@ -1,0 +1,167 @@
+(* Tests for the Retwis application: data model queries, the Table II
+   operation mix, and end-to-end convergence of the replicated store. *)
+
+open Crdt_core
+open Crdt_sim
+open Crdt_retwis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let i0 = Replica_id.of_int 0
+let i1 = Replica_id.of_int 1
+
+let model_tests =
+  [
+    Alcotest.test_case "follow updates the followee's follower set" `Quick
+      (fun () ->
+        let db = Store.follow ~follower:7 ~followee:3 i0 Store.bottom in
+        Alcotest.(check (list int)) "followers" [ 7 ] (Store.followers_of 3 db));
+    Alcotest.test_case "post lands on the author's wall" `Quick (fun () ->
+        let db =
+          Store.post ~author:3 ~tweet_id:"t1" ~content:"hello" i0 Store.bottom
+        in
+        let wall = Store.wall_of 3 db in
+        check_int "one tweet" 1 (User_state.Wall.cardinal wall);
+        Alcotest.(check string)
+          "content" "hello"
+          (Lww_register.value (User_state.Wall.find "t1" wall)));
+    Alcotest.test_case "timeline returns the 10 newest, newest first" `Quick
+      (fun () ->
+        let db =
+          List.fold_left
+            (fun db ts ->
+              Store.push_timeline ~user:1 ~timestamp:ts
+                ~tweet_id:(Printf.sprintf "t%d" ts) i0 db)
+            Store.bottom
+            (List.init 15 (fun k -> k + 1))
+        in
+        let tl = Store.timeline_of 1 db in
+        check_int "limit 10" 10 (List.length tl);
+        check_int "newest first" 15 (fst (List.hd tl));
+        check "descending" true
+          (let rec desc = function
+             | (a, _) :: ((b, _) :: _ as rest) -> a > b && desc rest
+             | _ -> true
+           in
+           desc tl));
+    Alcotest.test_case "concurrent follows of the same user merge" `Quick
+      (fun () ->
+        let at_a = Store.follow ~follower:1 ~followee:9 i0 Store.bottom in
+        let at_b = Store.follow ~follower:2 ~followee:9 i1 Store.bottom in
+        Alcotest.(check (list int))
+          "both followers" [ 1; 2 ]
+          (Store.followers_of 9 (Store.join at_a at_b)));
+  ]
+
+let workload_tests =
+  [
+    Alcotest.test_case "operation mix matches Table II (15/35/50)" `Quick
+      (fun () ->
+        let wl = Workload.make ~seed:1 ~users:200 ~coefficient:1.0 in
+        let db = ref Store.bottom in
+        for round = 0 to 2000 do
+          let ops = Workload.ops wl ~round ~node:0 !db in
+          List.iter
+            (fun (Store.Apply (k, op)) -> db := Store.apply k op i0 !db)
+            ops
+        done;
+        let follows, posts, reads, _ = Workload.mix wl in
+        check (Printf.sprintf "follows %.1f%%" follows) true
+          (abs_float (follows -. 15.) < 3.);
+        check (Printf.sprintf "posts %.1f%%" posts) true
+          (abs_float (posts -. 35.) < 3.);
+        check (Printf.sprintf "reads %.1f%%" reads) true
+          (abs_float (reads -. 50.) < 3.));
+    Alcotest.test_case "posts fan out to followers (1 + #followers updates)"
+      `Quick (fun () ->
+        let wl = Workload.make ~seed:2 ~users:50 ~coefficient:0.8 in
+        (* Seed a db in which user 0 (zipf head) has 5 followers. *)
+        let db =
+          List.fold_left
+            (fun db f -> Store.follow ~follower:f ~followee:0 i0 db)
+            Store.bottom [ 1; 2; 3; 4; 5 ]
+        in
+        (* Find a round where the generated op is a post by user 0. *)
+        let rec hunt round =
+          if round > 5000 then Alcotest.fail "no post by the zipf head found"
+          else
+            let ops = Workload.ops wl ~round ~node:0 db in
+            match ops with
+            | Store.Apply (0, User_state.Post _) :: rest ->
+                check_int "5 timeline pushes" 5 (List.length rest);
+                List.iter
+                  (fun (Store.Apply (_, op)) ->
+                    match op with
+                    | User_state.Timeline_add _ -> ()
+                    | _ -> Alcotest.fail "expected a timeline push")
+                  rest
+            | _ -> hunt (round + 1)
+        in
+        hunt 0);
+    Alcotest.test_case "tweet ids are 31 bytes, content 270 bytes" `Quick
+      (fun () ->
+        let wl = Workload.make ~seed:3 ~users:50 ~coefficient:1.0 in
+        let rec hunt round =
+          if round > 2000 then Alcotest.fail "no post found"
+          else
+            match Workload.ops wl ~round ~node:0 Store.bottom with
+            | Store.Apply (_, User_state.Post { tweet_id; content }) :: _ ->
+                check_int "id bytes" 31 (String.length tweet_id);
+                check_int "content bytes" 270 (String.length content)
+            | _ -> hunt (round + 1)
+        in
+        hunt 0);
+  ]
+
+(* End-to-end replication of the sharded store. *)
+module Classic = Sharded_store.Delta (Crdt_proto.Delta_sync.Classic_config)
+module BpRr = Sharded_store.Delta (Crdt_proto.Delta_sync.Bp_rr_config)
+module Rc = Runner.Make (Classic)
+module Rb = Runner.Make (BpRr)
+
+let replication_tests =
+  [
+    Alcotest.test_case "sharded store converges under the retwis workload"
+      `Quick (fun () ->
+        let topo = Topology.partial_mesh 8 in
+        let wl = Workload.make ~seed:5 ~users:100 ~coefficient:1.0 in
+        let res =
+          Rb.run ~equal:BpRr.equal_states ~topology:topo ~rounds:15
+            ~ops:(fun ~round ~node state ->
+              Workload.ops_sharded wl ~round ~node state)
+            ()
+        in
+        check "converged" true res.Rb.converged);
+    Alcotest.test_case "classic ships at least as much as BP+RR" `Quick
+      (fun () ->
+        let topo = Topology.partial_mesh 8 in
+        let run_classic () =
+          let wl = Workload.make ~seed:7 ~users:100 ~coefficient:1.25 in
+          let res =
+            Rc.run ~equal:Classic.equal_states ~topology:topo ~rounds:15
+              ~ops:(fun ~round ~node state ->
+                Workload.ops_sharded wl ~round ~node state)
+              ()
+          in
+          Metrics.total_transmission_bytes (Rc.summary res)
+        in
+        let run_bprr () =
+          let wl = Workload.make ~seed:7 ~users:100 ~coefficient:1.25 in
+          let res =
+            Rb.run ~equal:BpRr.equal_states ~topology:topo ~rounds:15
+              ~ops:(fun ~round ~node state ->
+                Workload.ops_sharded wl ~round ~node state)
+              ()
+          in
+          Metrics.total_transmission_bytes (Rb.summary res)
+        in
+        check "classic ≥ bp+rr" true (run_classic () >= run_bprr ()));
+  ]
+
+let () =
+  Alcotest.run "retwis"
+    [
+      ("data model", model_tests);
+      ("workload (Table II)", workload_tests);
+      ("replication", replication_tests);
+    ]

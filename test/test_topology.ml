@@ -1,0 +1,105 @@
+(* Unit tests for network topologies (Fig. 6 and variants). *)
+
+open Crdt_sim
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let degrees t = List.init (Topology.size t) (Topology.degree t)
+
+let paper_topologies =
+  [
+    Alcotest.test_case "15-node tree has the paper's degree profile" `Quick
+      (fun () ->
+        let t = Topology.tree 15 in
+        check_int "root degree" 2 (Topology.degree t 0);
+        (* internal nodes: 1..6 have parent + 2 children. *)
+        List.iter
+          (fun i -> check_int (Printf.sprintf "internal %d" i) 3 (Topology.degree t i))
+          [ 1; 2; 3; 4; 5; 6 ];
+        (* leaves: 7..14. *)
+        List.iter
+          (fun i -> check_int (Printf.sprintf "leaf %d" i) 1 (Topology.degree t i))
+          [ 7; 8; 9; 10; 11; 12; 13; 14 ];
+        check "acyclic" true (Topology.is_acyclic t));
+    Alcotest.test_case "15-node partial mesh is 4-regular with cycles" `Quick
+      (fun () ->
+        let t = Topology.partial_mesh 15 in
+        check "4-regular" true (List.for_all (fun d -> d = 4) (degrees t));
+        check "cyclic" false (Topology.is_acyclic t);
+        check_int "edges" 30 (List.length (Topology.edges t)));
+  ]
+
+let constructors =
+  [
+    Alcotest.test_case "line" `Quick (fun () ->
+        let t = Topology.line 5 in
+        check_int "end degree" 1 (Topology.degree t 0);
+        check_int "middle degree" 2 (Topology.degree t 2);
+        check "acyclic" true (Topology.is_acyclic t));
+    Alcotest.test_case "ring" `Quick (fun () ->
+        let t = Topology.ring 6 in
+        check "2-regular" true (List.for_all (fun d -> d = 2) (degrees t));
+        check "cyclic" false (Topology.is_acyclic t));
+    Alcotest.test_case "star" `Quick (fun () ->
+        let t = Topology.star 7 in
+        check_int "hub" 6 (Topology.degree t 0);
+        check "spokes" true
+          (List.for_all (fun i -> Topology.degree t i = 1) [ 1; 2; 3; 4; 5; 6 ]));
+    Alcotest.test_case "full mesh" `Quick (fun () ->
+        let t = Topology.full_mesh 5 in
+        check "4-regular" true (List.for_all (fun d -> d = 4) (degrees t));
+        check_int "edges" 10 (List.length (Topology.edges t)));
+    Alcotest.test_case "grid" `Quick (fun () ->
+        let t = Topology.grid ~rows:3 ~cols:3 in
+        check_int "corner" 2 (Topology.degree t 0);
+        check_int "center" 4 (Topology.degree t 4));
+    Alcotest.test_case "circulant offsets" `Quick (fun () ->
+        let t = Topology.circulant ~offsets:[ 1; 3 ] 10 in
+        check "4-regular" true (List.for_all (fun d -> d = 4) (degrees t)));
+  ]
+
+let validation =
+  [
+    Alcotest.test_case "adjacency is symmetric" `Quick (fun () ->
+        let t = Topology.partial_mesh 15 in
+        check "symmetric" true
+          (List.for_all
+             (fun i ->
+               List.for_all
+                 (fun j -> List.mem i (Topology.neighbors t j))
+                 (Topology.neighbors t i))
+             (List.init 15 Fun.id)));
+    Alcotest.test_case "self loops are rejected" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore (Topology.of_edges ~name:"bad" ~n:3 [ (0, 0) ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "disconnected graphs are rejected" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore (Topology.of_edges ~name:"bad" ~n:4 [ (0, 1); (2, 3) ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "out-of-range nodes are rejected" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore (Topology.of_edges ~name:"bad" ~n:2 [ (0, 5) ]);
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "neighbor lookup bounds-checked" `Quick (fun () ->
+        check "raises" true
+          (try
+             ignore (Topology.neighbors (Topology.ring 5) 9);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let () =
+  Alcotest.run "topology"
+    [
+      ("paper topologies (Fig. 6)", paper_topologies);
+      ("constructors", constructors);
+      ("validation", validation);
+    ]

@@ -1,0 +1,52 @@
+(* Unit tests for the two-phase set. *)
+
+open Crdt_core
+module T = Two_pset.Make (Powerset.String_elt)
+
+let check = Alcotest.(check bool)
+let i = Replica_id.of_int 0
+let j = Replica_id.of_int 1
+
+let semantics =
+  [
+    Alcotest.test_case "add then mem" `Quick (fun () ->
+        let s = T.add "x" i T.bottom in
+        check "mem" true (T.mem "x" s));
+    Alcotest.test_case "remove wins over add" `Quick (fun () ->
+        let s = T.add "x" i T.bottom in
+        let s = T.remove "x" i s in
+        check "gone" false (T.mem "x" s);
+        Alcotest.(check (list string)) "value" [] (T.value s));
+    Alcotest.test_case "removed elements cannot come back" `Quick (fun () ->
+        let s = T.remove "x" i (T.add "x" i T.bottom) in
+        let s = T.add "x" i s in
+        check "still gone" false (T.mem "x" s));
+    Alcotest.test_case "concurrent add/remove converge to removed" `Quick
+      (fun () ->
+        let base = T.add "x" i T.bottom in
+        let removed = T.remove "x" i base in
+        let readd = T.add "x" j base in
+        let m = T.join removed readd in
+        check "remove wins" false (T.mem "x" m);
+        check "commutes" true (T.equal m (T.join readd removed)));
+  ]
+
+let delta_tests =
+  [
+    Alcotest.test_case "re-add delta is bottom" `Quick (fun () ->
+        let s = T.add "x" i T.bottom in
+        check "bottom" true (T.is_bottom (T.delta_mutate (T.Add "x") i s)));
+    Alcotest.test_case "re-remove delta is bottom" `Quick (fun () ->
+        let s = T.remove "x" i T.bottom in
+        check "bottom" true (T.is_bottom (T.delta_mutate (T.Remove "x") i s)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x)" `Quick (fun () ->
+        let s = T.add "a" i (T.remove "b" i T.bottom) in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (T.equal (T.mutate op i s) (T.join s (T.delta_mutate op i s))))
+          [ T.Add "a"; T.Add "c"; T.Remove "a"; T.Remove "b" ]);
+  ]
+
+let () =
+  Alcotest.run "two_pset" [ ("semantics", semantics); ("deltas", delta_tests) ]

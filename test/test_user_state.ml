@@ -1,0 +1,102 @@
+(* Focused tests for the composed Retwis per-user state: delta
+   localization through the triple product and query behaviour. *)
+
+open Crdt_core
+open Crdt_retwis
+module U = User_state
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let i = Replica_id.of_int 0
+let j = Replica_id.of_int 1
+
+let mutation_tests =
+  [
+    Alcotest.test_case "follow touches only the follower set" `Quick
+      (fun () ->
+        let d = U.delta_mutate (U.Follow 7) i U.bottom in
+        check_int "weight 1" 1 (U.weight d);
+        let followers, (wall, timeline) = d in
+        check "follower side live" false (U.Followers.is_bottom followers);
+        check "wall untouched" true (U.Wall.is_bottom wall);
+        check "timeline untouched" true (U.Timeline.is_bottom timeline));
+    Alcotest.test_case "post touches only the wall" `Quick (fun () ->
+        let d =
+          U.delta_mutate (U.Post { tweet_id = "t"; content = "c" }) i U.bottom
+        in
+        let followers, (wall, timeline) = d in
+        check "wall live" false (U.Wall.is_bottom wall);
+        check "followers untouched" true (U.Followers.is_bottom followers);
+        check "timeline untouched" true (U.Timeline.is_bottom timeline));
+    Alcotest.test_case "timeline add touches only the timeline" `Quick
+      (fun () ->
+        let d =
+          U.delta_mutate
+            (U.Timeline_add { timestamp = 3; tweet_id = "t" })
+            i U.bottom
+        in
+        let followers, (wall, timeline) = d in
+        check "timeline live" false (U.Timeline.is_bottom timeline);
+        check "followers untouched" true (U.Followers.is_bottom followers);
+        check "wall untouched" true (U.Wall.is_bottom wall));
+    Alcotest.test_case "duplicate follow yields bottom delta" `Quick
+      (fun () ->
+        let st = U.mutate (U.Follow 7) i U.bottom in
+        check "bottom" true (U.is_bottom (U.delta_mutate (U.Follow 7) j st)));
+    Alcotest.test_case "m(x) = x ⊔ mδ(x) for all ops" `Quick (fun () ->
+        let st = U.mutate (U.Follow 7) i U.bottom in
+        List.iter
+          (fun op ->
+            check "contract" true
+              (U.equal (U.mutate op j st) (U.join st (U.delta_mutate op j st))))
+          [
+            U.Follow 7;
+            U.Follow 8;
+            U.Post { tweet_id = "t1"; content = "hello" };
+            U.Timeline_add { timestamp = 1; tweet_id = "t1" };
+          ]);
+  ]
+
+let query_tests =
+  [
+    Alcotest.test_case "followers accumulate across replicas" `Quick
+      (fun () ->
+        let at_i = U.mutate (U.Follow 1) i U.bottom in
+        let at_j = U.mutate (U.Follow 2) j U.bottom in
+        Alcotest.(check (list int))
+          "both" [ 1; 2 ]
+          (U.followers (U.join at_i at_j)));
+    Alcotest.test_case "concurrent posts of distinct tweets both land"
+      `Quick (fun () ->
+        let p1 = U.mutate (U.Post { tweet_id = "t1"; content = "a" }) i U.bottom in
+        let p2 = U.mutate (U.Post { tweet_id = "t2"; content = "b" }) j U.bottom in
+        check_int "two tweets" 2 (U.Wall.cardinal (U.wall (U.join p1 p2))));
+    Alcotest.test_case "recent_timeline honours a custom limit" `Quick
+      (fun () ->
+        let st =
+          List.fold_left
+            (fun st ts ->
+              U.mutate
+                (U.Timeline_add
+                   { timestamp = ts; tweet_id = Printf.sprintf "t%d" ts })
+                i st)
+            U.bottom
+            (List.init 6 (fun k -> k + 1))
+        in
+        check_int "limit 3" 3 (List.length (U.recent_timeline ~limit:3 st));
+        check_int "default covers all 6" 6
+          (List.length (U.recent_timeline st)));
+    Alcotest.test_case "timeline entries resolve to tweet ids" `Quick
+      (fun () ->
+        let st =
+          U.mutate (U.Timeline_add { timestamp = 9; tweet_id = "hello" }) i
+            U.bottom
+        in
+        match U.recent_timeline st with
+        | [ (9, "hello") ] -> ()
+        | _ -> Alcotest.fail "unexpected timeline");
+  ]
+
+let () =
+  Alcotest.run "user_state"
+    [ ("mutations & deltas", mutation_tests); ("queries", query_tests) ]

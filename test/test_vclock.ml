@@ -1,0 +1,86 @@
+(* Unit tests for vector clocks and causal deliverability. *)
+
+open Crdt_proto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let basics =
+  [
+    Alcotest.test_case "empty clock reads zero" `Quick (fun () ->
+        check_int "get" 0 (Vclock.get 3 Vclock.empty));
+    Alcotest.test_case "incr advances one component" `Quick (fun () ->
+        let v = Vclock.incr 2 (Vclock.incr 2 Vclock.empty) in
+        check_int "incremented" 2 (Vclock.get 2 v);
+        check_int "others" 0 (Vclock.get 0 v));
+    Alcotest.test_case "set to zero removes the entry" `Quick (fun () ->
+        let v = Vclock.set 1 0 (Vclock.incr 1 Vclock.empty) in
+        check_int "cardinal" 0 (Vclock.cardinal v));
+    Alcotest.test_case "merge is pointwise max" `Quick (fun () ->
+        let v1 = Vclock.of_list [ (0, 3); (1, 1) ] in
+        let v2 = Vclock.of_list [ (0, 1); (2, 5) ] in
+        let m = Vclock.merge v1 v2 in
+        check_int "0" 3 (Vclock.get 0 m);
+        check_int "1" 1 (Vclock.get 1 m);
+        check_int "2" 5 (Vclock.get 2 m));
+  ]
+
+let order =
+  [
+    Alcotest.test_case "leq is pointwise" `Quick (fun () ->
+        check "⊑" true
+          (Vclock.leq (Vclock.of_list [ (0, 1) ]) (Vclock.of_list [ (0, 2) ]));
+        check "⋢" false
+          (Vclock.leq (Vclock.of_list [ (0, 3) ]) (Vclock.of_list [ (0, 2) ])));
+    Alcotest.test_case "concurrent clocks are incomparable" `Quick (fun () ->
+        let v1 = Vclock.of_list [ (0, 1) ] and v2 = Vclock.of_list [ (1, 1) ] in
+        check "v1 ⋢ v2" false (Vclock.leq v1 v2);
+        check "v2 ⋢ v1" false (Vclock.leq v2 v1));
+    Alcotest.test_case "strict domination" `Quick (fun () ->
+        let v1 = Vclock.of_list [ (0, 1) ] in
+        let v2 = Vclock.of_list [ (0, 1); (1, 1) ] in
+        check "strict" true (Vclock.dominates_strictly v2 v1);
+        check "not self" false (Vclock.dominates_strictly v1 v1));
+  ]
+
+let delivery =
+  [
+    Alcotest.test_case "next op from a known origin is deliverable" `Quick
+      (fun () ->
+        let local = Vclock.of_list [ (0, 2); (1, 1) ] in
+        let tag = Vclock.of_list [ (0, 3); (1, 1) ] in
+        check "deliverable" true (Vclock.deliverable ~origin:0 ~tag ~local));
+    Alcotest.test_case "a gap in the origin's sequence blocks delivery" `Quick
+      (fun () ->
+        let local = Vclock.of_list [ (0, 1) ] in
+        let tag = Vclock.of_list [ (0, 3) ] in
+        check "blocked" false (Vclock.deliverable ~origin:0 ~tag ~local));
+    Alcotest.test_case "missing causal dependency blocks delivery" `Quick
+      (fun () ->
+        (* op from 0 that causally saw (1,2), but locally we only have
+           (1,1). *)
+        let local = Vclock.of_list [ (1, 1) ] in
+        let tag = Vclock.of_list [ (0, 1); (1, 2) ] in
+        check "blocked" false (Vclock.deliverable ~origin:0 ~tag ~local));
+    Alcotest.test_case "already delivered ops are not deliverable again"
+      `Quick (fun () ->
+        let local = Vclock.of_list [ (0, 3) ] in
+        let tag = Vclock.of_list [ (0, 3) ] in
+        check "duplicate" false (Vclock.deliverable ~origin:0 ~tag ~local));
+  ]
+
+let accounting =
+  [
+    Alcotest.test_case "byte size: 28 B per entry (20 B id + 8 B ctr)" `Quick
+      (fun () ->
+        check_int "bytes" 56 (Vclock.byte_size (Vclock.of_list [ (0, 1); (5, 2) ])));
+  ]
+
+let () =
+  Alcotest.run "vclock"
+    [
+      ("basics", basics);
+      ("order", order);
+      ("causal delivery", delivery);
+      ("accounting", accounting);
+    ]

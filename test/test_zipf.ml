@@ -1,0 +1,67 @@
+(* Unit tests for the Zipf sampler used by the Retwis contention sweep. *)
+
+open Crdt_sim
+
+let check = Alcotest.(check bool)
+
+let histogram z draws =
+  let h = Array.make (Zipf.support z) 0 in
+  for _ = 1 to draws do
+    let k = Zipf.sample z in
+    h.(k) <- h.(k) + 1
+  done;
+  h
+
+let tests =
+  [
+    Alcotest.test_case "samples stay in range" `Quick (fun () ->
+        let rng = Random.State.make [| 1 |] in
+        let z = Zipf.make ~rng ~s:1.0 ~n:50 in
+        for _ = 1 to 1000 do
+          let k = Zipf.sample z in
+          check "in range" true (k >= 0 && k < 50)
+        done);
+    Alcotest.test_case "s = 0 is uniform" `Quick (fun () ->
+        let rng = Random.State.make [| 2 |] in
+        let z = Zipf.make ~rng ~s:0. ~n:10 in
+        let h = histogram z 20_000 in
+        Array.iter
+          (fun c -> check "within 25% of uniform" true (abs (c - 2000) < 500))
+          h);
+    Alcotest.test_case "higher s concentrates mass on the head" `Quick
+      (fun () ->
+        let mass s =
+          let rng = Random.State.make [| 3 |] in
+          Zipf.head_mass (Zipf.make ~rng ~s ~n:100)
+        in
+        check "monotone" true (mass 0.5 < mass 1.0 && mass 1.0 < mass 1.5));
+    Alcotest.test_case "s = 1.0 hits the head about 1/H(n) of draws" `Quick
+      (fun () ->
+        let rng = Random.State.make [| 4 |] in
+        let z = Zipf.make ~rng ~s:1.0 ~n:100 in
+        let h = histogram z 50_000 in
+        (* H(100) ≈ 5.187, expected head share ≈ 19.3%. *)
+        let share = float_of_int h.(0) /. 50_000. in
+        check "head share" true (share > 0.17 && share < 0.22));
+    Alcotest.test_case "deterministic under a fixed seed" `Quick (fun () ->
+        let draw () =
+          let rng = Random.State.make [| 9 |] in
+          let z = Zipf.make ~rng ~s:1.2 ~n:30 in
+          List.init 100 (fun _ -> Zipf.sample z)
+        in
+        check "equal sequences" true (draw () = draw ()));
+    Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
+        let rng = Random.State.make [| 5 |] in
+        check "n = 0" true
+          (try
+             ignore (Zipf.make ~rng ~s:1. ~n:0);
+             false
+           with Invalid_argument _ -> true);
+        check "negative s" true
+          (try
+             ignore (Zipf.make ~rng ~s:(-1.) ~n:5);
+             false
+           with Invalid_argument _ -> true));
+  ]
+
+let () = Alcotest.run "zipf" [ ("distribution", tests) ]
