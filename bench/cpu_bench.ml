@@ -40,16 +40,22 @@ let tests =
         (Staged.stage (fun () -> ignore (Gset.Of_int.decompose s1)));
       Test.make ~name:"gmap-decompose-1k"
         (Staged.stage (fun () -> ignore (Gmap.Versioned.decompose m1)));
-      Test.make ~name:"gset-delta-1k"
+      Test.make ~name:"gset-delta-generic-1k"
         (Staged.stage (fun () -> ignore (Dset.delta s1 s2)));
-      Test.make ~name:"gmap-delta-1k"
+      Test.make ~name:"gset-delta-structural-1k"
+        (Staged.stage (fun () -> ignore (Gset.Of_int.delta s1 s2)));
+      Test.make ~name:"gmap-delta-generic-1k"
         (Staged.stage (fun () -> ignore (Dmap.delta m1 m2)));
+      Test.make ~name:"gmap-delta-structural-1k"
+        (Staged.stage (fun () -> ignore (Gmap.Versioned.delta m1 m2)));
       (* The two receive paths of Algorithm 1 on a small δ-group against
          a large local state: classic pays a ⊑ check and then re-buffers
-         everything; RR pays one decomposition of the (small) group. *)
+         everything; RR pays one structural Δ of the (small) group. *)
       Test.make ~name:"classic-inflation-check"
         (Staged.stage (fun () -> ignore (Gset.Of_int.leq small s1)));
       Test.make ~name:"rr-extraction"
+        (Staged.stage (fun () -> ignore (Gset.Of_int.delta small s1)));
+      Test.make ~name:"rr-extraction-generic"
         (Staged.stage (fun () -> ignore (Dset.delta small s1)));
     ]
 

@@ -8,26 +8,30 @@
      dune exec bench/main.exe                 # everything, default scale
      dune exec bench/main.exe -- fig7 fig9    # selected experiments
      dune exec bench/main.exe -- --quick      # reduced scale (CI)
-     dune exec bench/main.exe -- --paper      # paper-scale Retwis run *)
+     dune exec bench/main.exe -- --paper      # paper-scale Retwis run
+     dune exec bench/main.exe -- --json delta # also write BENCH_delta_kernels.json *)
 
 let all_ids =
   [
     "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
-    "ablation"; "cpu";
+    "ablation"; "cpu"; "delta";
   ]
 
 let usage () =
   Printf.printf
-    "usage: main.exe [--quick|--paper] [%s ...]\n(fig11 also prints Fig 12; \
-     no ids = run everything)\n"
+    "usage: main.exe [--quick|--paper] [--json] [%s ...]\n(fig11 also prints \
+     Fig 12; no ids = run everything; --json makes `delta` write \
+     BENCH_delta_kernels.json)\n"
     (String.concat "|" all_ids)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--help" args || List.mem "-h" args then usage ()
   else begin
+    let quick = List.mem "--quick" args in
+    let json = List.mem "--json" args in
     let scale =
-      if List.mem "--quick" args then Experiments.quick_scale
+      if quick then Experiments.quick_scale
       else if List.mem "--paper" args then Experiments.paper_scale
       else Experiments.default_scale
     in
@@ -61,6 +65,10 @@ let () =
         | "fig11" | "fig12" -> Experiments.fig11_12 scale
         | "ablation" -> Experiments.ablation scale
         | "cpu" -> Cpu_bench.run ()
+        | "delta" ->
+            Delta_kernels.run ~quick
+              ?json_path:(if json then Some "BENCH_delta_kernels.json" else None)
+              ()
         | _ -> assert false)
       ids;
     Printf.printf "\ntotal bench time: %.1fs\n" (Sys.time () -. t0)

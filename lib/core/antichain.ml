@@ -41,6 +41,13 @@ end = struct
   let weight = S.cardinal
   let byte_size s = S.fold (fun e acc -> acc + P.byte_size e) s 0
   let decompose s = S.fold (fun e acc -> S.singleton e :: acc) s []
+  let fold_decompose f s acc = S.fold (fun e acc -> f (S.singleton e) acc) s acc
+
+  (* {e} ⊑ b iff some element of [b] dominates [e]; the survivors of [a]
+     are pairwise incomparable already, so their join is the plain set of
+     survivors — no re-maximalization needed. *)
+  let delta a b =
+    S.filter (fun e -> not (S.exists (fun e' -> P.leq e e') b)) a
 
   let pp ppf s =
     Format.fprintf ppf "@[<1>⟪%a⟫@]"

@@ -29,6 +29,11 @@ module Make_max (O : ORDERED_WITH_BOTTOM) :
   let weight x = if is_bottom x then 0 else 1
   let byte_size = O.byte_size
   let decompose x = if is_bottom x then [] else [ x ]
+  let fold_decompose f x acc = if is_bottom x then acc else f x acc
+
+  (* Every non-⊥ element of a chain is irreducible, so Δ(a,b) is either
+     all of [a] or nothing. *)
+  let delta a b = if leq a b then bottom else a
   let pp = O.pp
 end
 

@@ -7,7 +7,13 @@
 
     which satisfies [Δ(a,b) ⊔ b = a ⊔ b] and is dominated by every other
     [c] with [c ⊔ b = a ⊔ b].  Optimal δ-mutators follow as
-    [mᵟ(x) = Δ(m(x), x)]. *)
+    [mᵟ(x) = Δ(m(x), x)].
+
+    This generic, list-based formulation materializes [⇓a] and filters
+    it; it is kept as the {e reference oracle} for the structural
+    {!Lattice_intf.DECOMPOSABLE.delta} that each composition implements
+    directly (the hot paths use the structural version; the property
+    suites check both agree on every instance). *)
 
 module Make (L : Lattice_intf.DECOMPOSABLE) = struct
   (** [delta a b] is the optimal delta [Δ(a,b)]. *)

@@ -55,6 +55,21 @@ module type DECOMPOSABLE = sig
   (** [decompose x] is the irredundant join decomposition [⇓x]: a list of
       join-irreducible states whose join is [x], such that removing any
       element yields a strictly smaller join.  [decompose bottom = []]. *)
+
+  val fold_decompose : (t -> 'a -> 'a) -> t -> 'a -> 'a
+  (** [fold_decompose f x acc] folds [f] over the irreducibles of [⇓x]
+      without materializing the decomposition list:
+      [fold_decompose f x acc] visits exactly the elements of
+      [decompose x] (in an unspecified order). *)
+
+  val delta : t -> t -> t
+  (** [delta a b] is the optimal delta
+      [Δ(a,b) = ⊔ \{ y ∈ ⇓a | y ⋢ b \}] of Section III-B, computed
+      {e structurally} — set difference for powersets, a pointwise
+      simultaneous walk for maps, componentwise for products — instead of
+      materializing [⇓a] and filtering it.  Agrees exactly with the
+      decompose-based {!Delta.Make.delta}, which the property suites keep
+      as the reference oracle. *)
 end
 
 (** A totally-ordered decomposable lattice (a chain).  Chains are the

@@ -47,5 +47,23 @@ module Make (C : Lattice_intf.CHAIN) (A : Lattice_intf.DECOMPOSABLE) :
       | [] -> [ (c, A.bottom) ]
       | ds -> List.map (fun d -> (c, d)) ds
 
+  let fold_decompose f ((c, a) as x) acc =
+    if is_bottom x then acc
+    else if A.is_bottom a then f (c, A.bottom) acc
+    else A.fold_decompose (fun d acc -> f (c, d) acc) a acc
+
+  (* Every irreducible of ⟨c,a⟩ carries the same guard [c], so ⊑ against
+     ⟨c',a'⟩ is decided once by the chain comparison: a smaller guard is
+     wholly dominated, a larger one wholly kept, equal guards recurse. *)
+  let delta ((c1, a1) as x) (c2, a2) =
+    if is_bottom x then bottom
+    else
+      match C.compare c1 c2 with
+      | 0 ->
+          let d = A.delta a1 a2 in
+          if A.is_bottom d then bottom else (c1, d)
+      | n when n > 0 -> x
+      | _ -> bottom
+
   let pp ppf (c, a) = Format.fprintf ppf "@[<1>⟨%a;@ %a⟩@]" C.pp c A.pp a
 end

@@ -60,6 +60,24 @@ end = struct
         | [] -> [ Right B.bottom ]
         | ds -> List.map (fun d -> Right d) ds)
 
+  let fold_decompose f x acc =
+    match x with
+    | Left a -> A.fold_decompose (fun d acc -> f (Left d) acc) a acc
+    | Right b ->
+        if B.is_bottom b then f (Right B.bottom) acc
+        else B.fold_decompose (fun d acc -> f (Right d) acc) b acc
+
+  (* Sides never mix: anything [Left] is dominated by anything [Right],
+     and a [Right] is never dominated by a [Left]. *)
+  let delta x y =
+    match (x, y) with
+    | Left a1, Left a2 -> Left (A.delta a1 a2)
+    | Left _, Right _ -> bottom
+    | Right b1, Right b2 ->
+        let d = B.delta b1 b2 in
+        if B.is_bottom d then bottom else Right d
+    | Right b1, Left _ -> Right b1
+
   let pp ppf = function
     | Left a -> Format.fprintf ppf "Left %a" A.pp a
     | Right b -> Format.fprintf ppf "Right %a" B.pp b

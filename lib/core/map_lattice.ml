@@ -54,7 +54,24 @@ end = struct
 
   let find k m = match M.find_opt k m with Some v -> v | None -> V.bottom
 
-  let leq m1 m2 = M.for_all (fun k v -> V.leq v (find k m2)) m1
+  exception Not_leq
+
+  (* One simultaneous walk of both maps, short-circuiting at the first
+     violating key — instead of an O(log n) [find] in [m2] per key of
+     [m1].  A key present only in [m1] violates the order directly (the
+     no-⊥-binding invariant means its value is non-bottom). *)
+  let leq m1 m2 =
+    match
+      M.merge
+        (fun _k v1 v2 ->
+          match (v1, v2) with
+          | None, _ -> None
+          | Some v1, Some v2 -> if V.leq v1 v2 then None else raise Not_leq
+          | Some _, None -> raise Not_leq)
+        m1 m2
+    with
+    | _ -> true
+    | exception Not_leq -> false
   let equal = M.equal V.equal
   let compare = M.compare V.compare
   let weight m = M.fold (fun _ v acc -> acc + V.weight v) m 0
@@ -69,6 +86,26 @@ end = struct
           (fun acc d -> M.singleton k d :: acc)
           acc (V.decompose v))
       m []
+
+  let fold_decompose f m acc =
+    M.fold
+      (fun k v acc ->
+        V.fold_decompose (fun d acc -> f (M.singleton k d) acc) v acc)
+      m acc
+
+  (* Δ is pointwise: keys only in [m1] survive whole, shared keys recurse
+     into the value lattice, keys only in [m2] contribute nothing.  One
+     merge walk, no per-irreducible singleton maps. *)
+  let delta m1 m2 =
+    M.merge
+      (fun _k v1 v2 ->
+        match (v1, v2) with
+        | None, _ -> None
+        | Some v1, None -> Some v1
+        | Some v1, Some v2 ->
+            let d = V.delta v1 v2 in
+            if V.is_bottom d then None else Some d)
+      m1 m2
 
   let pp ppf m =
     let pp_binding ppf (k, v) =

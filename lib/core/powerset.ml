@@ -40,6 +40,11 @@ end = struct
   let weight = S.cardinal
   let byte_size s = S.fold (fun e acc -> acc + E.byte_size e) s 0
   let decompose s = S.fold (fun e acc -> S.singleton e :: acc) s []
+  let fold_decompose f s acc = S.fold (fun e acc -> f (S.singleton e) acc) s acc
+
+  (* The irreducibles of a powerset are the singletons, so Δ is exactly
+     set difference — no singleton allocation at all. *)
+  let delta = S.diff
 
   let pp ppf s =
     Format.fprintf ppf "@[<1>{%a}@]"

@@ -26,5 +26,15 @@ module Make (A : Lattice_intf.DECOMPOSABLE) (B : Lattice_intf.DECOMPOSABLE) :
     and right = List.map (fun y -> (A.bottom, y)) (B.decompose b) in
     left @ right
 
+  let fold_decompose f (a, b) acc =
+    B.fold_decompose
+      (fun y acc -> f (A.bottom, y) acc)
+      b
+      (A.fold_decompose (fun x acc -> f (x, B.bottom) acc) a acc)
+
+  (* Each irreducible lives in exactly one component, so Δ splits
+     componentwise. *)
+  let delta (a1, b1) (a2, b2) = (A.delta a1 a2, B.delta b1 b2)
+
   let pp ppf (a, b) = Format.fprintf ppf "@[<1>(%a,@ %a)@]" A.pp a B.pp b
 end

@@ -21,7 +21,21 @@
     behaviours are safe here because δ-groups are joined idempotently.
     {!Make} additionally supports the footnote's ack-based variant for
     lossy channels ([ack_mode]): buffer entries carry sequence numbers and
-    are only evicted once every neighbor acknowledged them. *)
+    are only evicted once every neighbor acknowledged them.
+
+    {b Buffer representation.}  In the common (non-ack) mode the δ-buffer
+    is {e not} a list of entries: it is one per-origin δ-group, joined
+    incrementally at [store] time, plus the running join of all of them.
+    [store] therefore costs one join (O(1) amortized in the buffer
+    length, instead of the list-append O(|Bᵢ|)), and [tick] sends the
+    precomputed running join — under BP, the per-destination "everything
+    except what you sent me" groups are derived with O(origins)
+    prefix/suffix joins for the whole tick rather than a fold over the
+    full buffer per neighbor.  Only [ack_mode] keeps the seq-tagged entry
+    list, because selective eviction needs per-entry sequence numbers.
+    The RR extraction in [handle] uses the structural
+    {!Crdt_core.Lattice_intf.DECOMPOSABLE.delta}, so no received δ-group
+    is ever decomposed into singletons on the hot path. *)
 
 type config = { bp : bool; rr : bool; ack_mode : bool }
 
@@ -43,7 +57,7 @@ end
 
 module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
-  module D = Crdt_core.Delta.Make (C)
+  module Origins = Map.Make (Int)
 
   type crdt = C.t
   type op = C.op
@@ -59,7 +73,11 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     self : int;
     neighbors : int list;
     x : C.t;
-    buffer : entry list;  (** [Bᵢ], oldest first. *)
+    groups : C.t Origins.t;
+        (** [Bᵢ] in non-ack mode: origin ↦ join of the δ-groups stored
+            from that origin since the last tick. *)
+    pending : C.t;  (** join of all of [groups], maintained at [store]. *)
+    entries : entry list;  (** [Bᵢ] in ack mode only, newest first. *)
     next_seq : int;
     acked : Vclock.t;  (** ack mode: highest seq acked per neighbor. *)
     work : int;
@@ -78,45 +96,97 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       self = id;
       neighbors;
       x = C.bottom;
-      buffer = [];
+      groups = Origins.empty;
+      pending = C.bottom;
+      entries = [];
       next_seq = 0;
       acked = Vclock.empty;
       work = 0;
     }
 
-  (* fun store(s, o) — lines 18-20: join into the local state and append
-     to the δ-buffer tagged with its origin. *)
+  (* fun store(s, o) — lines 18-20: join into the local state and into
+     the origin's δ-group (non-ack), or cons a seq-tagged entry (ack).
+     Either way the cost is independent of the buffer length. *)
   let store n delta origin =
-    {
-      n with
-      x = C.join n.x delta;
-      buffer = n.buffer @ [ { delta; origin; seq = n.next_seq } ];
-      next_seq = n.next_seq + 1;
-      work = n.work + C.weight delta;
-    }
+    let n =
+      {
+        n with
+        x = C.join n.x delta;
+        next_seq = n.next_seq + 1;
+        work = n.work + C.weight delta;
+      }
+    in
+    if cfg.ack_mode then
+      { n with entries = { delta; origin; seq = n.next_seq - 1 } :: n.entries }
+    else
+      {
+        n with
+        groups =
+          Origins.update origin
+            (function None -> Some delta | Some g -> Some (C.join g delta))
+            n.groups;
+        pending = C.join n.pending delta;
+      }
 
   let local_update n op =
     let delta = C.delta_mutate op n.id n.x in
     if C.is_bottom delta then n else store n delta n.self
 
-  (* δ-group for destination j: join of buffer entries, minus (under BP)
-     those that came from j, minus (in ack mode) those j already acked. *)
-  let group_for n j =
+  (* Ack mode: δ-group for destination j — fold of the entries j still
+     needs, minus (under BP) those that came from j. *)
+  let group_for_ack n j =
     List.fold_left
       (fun acc e ->
         if cfg.bp && e.origin = j then acc
-        else if cfg.ack_mode && e.seq < Vclock.get j n.acked then acc
+        else if e.seq < Vclock.get j n.acked then acc
         else C.join acc e.delta)
-      C.bottom n.buffer
+      C.bottom n.entries
+
+  (* BP, non-ack: for each origin [o], the join of every {e other}
+     origin's δ-group, computed with prefix/suffix running joins —
+     O(origins) joins total for the whole tick, versus the former
+     fold-the-whole-buffer per neighbor. *)
+  let exclusive_groups groups =
+    let arr = Array.of_list (Origins.bindings groups) in
+    let k = Array.length arr in
+    let suffix = Array.make (k + 1) C.bottom in
+    for i = k - 1 downto 0 do
+      suffix.(i) <- C.join (snd arr.(i)) suffix.(i + 1)
+    done;
+    let excl = ref Origins.empty and prefix = ref C.bottom in
+    for i = 0 to k - 1 do
+      let o, g = arr.(i) in
+      excl := Origins.add o (C.join !prefix suffix.(i + 1)) !excl;
+      prefix := C.join !prefix g
+    done;
+    !excl
 
   let tick n =
     let msgs =
-      List.filter_map
-        (fun j ->
-          let g = group_for n j in
-          if C.is_bottom g then None
-          else Some (j, Delta { group = g; seq = n.next_seq }))
-        n.neighbors
+      if cfg.ack_mode then
+        List.filter_map
+          (fun j ->
+            let g = group_for_ack n j in
+            if C.is_bottom g then None
+            else Some (j, Delta { group = g; seq = n.next_seq }))
+          n.neighbors
+      else if C.is_bottom n.pending then []
+      else
+        let excl =
+          if cfg.bp then exclusive_groups n.groups else Origins.empty
+        in
+        List.filter_map
+          (fun j ->
+            let g =
+              if cfg.bp then
+                match Origins.find_opt j excl with
+                | Some g -> g  (* j is an origin: everything but its own. *)
+                | None -> n.pending
+              else n.pending
+            in
+            if C.is_bottom g then None
+            else Some (j, Delta { group = g; seq = n.next_seq }))
+          n.neighbors
     in
     let cost =
       List.fold_left
@@ -124,21 +194,24 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
           match m with Delta { group; _ } -> acc + C.weight group | Ack _ -> acc)
         0 msgs
     in
-    let buffer =
+    let n =
       if cfg.ack_mode then
         (* Keep entries until every neighbor that must receive them (under
            BP, everyone but their origin) has acked past them. *)
-        List.filter
-          (fun e ->
-            List.exists
-              (fun j ->
-                (not (cfg.bp && e.origin = j))
-                && e.seq >= Vclock.get j n.acked)
-              n.neighbors)
-          n.buffer
-      else []
+        let entries =
+          List.filter
+            (fun e ->
+              List.exists
+                (fun j ->
+                  (not (cfg.bp && e.origin = j))
+                  && e.seq >= Vclock.get j n.acked)
+                n.neighbors)
+            n.entries
+        in
+        { n with entries }
+      else { n with groups = Origins.empty; pending = C.bottom }
     in
-    ({ n with buffer; work = n.work + cost }, msgs)
+    ({ n with work = n.work + cost }, msgs)
 
   let handle n ~src d =
     match d with
@@ -148,9 +221,10 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     | Delta { group = d; seq } ->
         let ack = if cfg.ack_mode then [ (src, Ack { seq }) ] else [] in
         if cfg.rr then begin
-          (* d = Δ(d, xᵢ); if d ≠ ⊥ then store(d, src) — the extraction
-             pays one decomposition of the received group. *)
-          let extracted = D.delta d n.x in
+          (* d = Δ(d, xᵢ); if d ≠ ⊥ then store(d, src) — the structural
+             delta walks the received group against the local state
+             without decomposing it into singletons. *)
+          let extracted = C.delta d n.x in
           let n = { n with work = n.work + C.weight d } in
           if C.is_bottom extracted then (n, ack)
           else (store n extracted src, ack)
@@ -185,11 +259,13 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
 
   let memory_weight n =
     C.weight n.x
-    + List.fold_left (fun acc e -> acc + C.weight e.delta) 0 n.buffer
+    + List.fold_left (fun acc e -> acc + C.weight e.delta) 0 n.entries
+    + Origins.fold (fun _ g acc -> acc + C.weight g) n.groups 0
 
   let memory_bytes n =
     C.byte_size n.x
-    + List.fold_left (fun acc e -> acc + C.byte_size e.delta) 0 n.buffer
+    + List.fold_left (fun acc e -> acc + C.byte_size e.delta) 0 n.entries
+    + Origins.fold (fun _ g acc -> acc + C.byte_size g) n.groups 0
 
   (* Delta-based metadata: one sequence number per neighbor (Fig. 9). *)
   let metadata_memory_bytes n = 8 * List.length n.neighbors

@@ -25,8 +25,6 @@ open Crdt_core
 type 'a digest = { covers : 'a -> bool; digest_bytes : int }
 
 module Make (C : Lattice_intf.DECOMPOSABLE) = struct
-  module D = Delta.Make (C)
-
   type stats = {
     messages : int;
     bytes : int;  (** total payload + digest bytes on the wire. *)
@@ -36,8 +34,9 @@ module Make (C : Lattice_intf.DECOMPOSABLE) = struct
       [a' = b' = a ⊔ b]: A ships its state, B replies with A's missing
       delta. *)
   let state_driven a b =
-    (* message 1: A → B carries the full state a. *)
-    let delta_for_a = D.delta b a in
+    (* message 1: A → B carries the full state a.  B computes A's missing
+       delta with the structural Δ — no decomposition of b. *)
+    let delta_for_a = C.delta b a in
     let b' = C.join b a in
     (* message 2: B → A carries Δ(b, a). *)
     let a' = C.join a delta_for_a in
@@ -57,19 +56,20 @@ module Make (C : Lattice_intf.DECOMPOSABLE) = struct
   let digest_driven ?(bytes_per_element = 8) a b =
     (* message 1: A → B carries digest(a). *)
     let da = digest_of ~bytes_per_element a in
-    (* B selects from ⇓b what A's digest does not cover. *)
+    (* B selects from ⇓b what A's digest does not cover, streaming the
+       irreducibles instead of materializing the decomposition list. *)
     let delta_for_a =
-      List.fold_left
-        (fun acc y -> if da.covers y then acc else C.join acc y)
-        C.bottom (C.decompose b)
+      C.fold_decompose
+        (fun y acc -> if da.covers y then acc else C.join acc y)
+        b C.bottom
     in
     (* message 2: B → A carries Δ for A plus digest(b). *)
     let db = digest_of ~bytes_per_element b in
     let a' = C.join a delta_for_a in
     let delta_for_b =
-      List.fold_left
-        (fun acc y -> if db.covers y then acc else C.join acc y)
-        C.bottom (C.decompose a)
+      C.fold_decompose
+        (fun y acc -> if db.covers y then acc else C.join acc y)
+        a C.bottom
     in
     (* message 3: A → B carries Δ for B. *)
     let b' = C.join b delta_for_b in

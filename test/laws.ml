@@ -136,6 +136,34 @@ struct
         let merged = L.join b d in
         L.equal (L.join merged d) merged)
 
+  (* Structural delta / streaming decomposition: the direct
+     implementations must agree with the generic decompose-based oracle
+     and independently satisfy the Δ contract. *)
+
+  let structural_delta_matches_oracle =
+    test "structural Δ = decompose-based Δ (oracle)" pair (fun (a, b) ->
+        L.equal (L.delta a b) (D.delta a b))
+
+  let structural_delta_correct =
+    test "structural Δ(a,b) ⊔ b = a ⊔ b" pair (fun (a, b) ->
+        L.equal (L.join (L.delta a b) b) (L.join a b))
+
+  let structural_delta_minimal =
+    test "structural Δ minimality: no y ∈ ⇓Δ(a,b) is below b" pair
+      (fun (a, b) ->
+        List.for_all
+          (fun y -> not (L.leq y b))
+          (L.decompose (L.delta a b)))
+
+  let fold_decompose_agrees =
+    test "fold_decompose enumerates exactly ⇓x" arb (fun a ->
+        let streamed =
+          List.sort L.compare (L.fold_decompose List.cons a [])
+        in
+        let listed = List.sort L.compare (L.decompose a) in
+        List.length streamed = List.length listed
+        && List.for_all2 L.equal streamed listed)
+
   let suite =
     [
       join_commutative;
@@ -165,5 +193,9 @@ struct
       delta_self;
       redundancy_complement;
       delta_idempotent_resend;
+      structural_delta_matches_oracle;
+      structural_delta_correct;
+      structural_delta_minimal;
+      fold_decompose_agrees;
     ]
 end

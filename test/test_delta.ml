@@ -128,6 +128,256 @@ let validators =
         check "identity" true (S.is_bottom (Ds.delta_mutator Fun.id s)));
   ]
 
+(* Structural Δ vs the generic decompose-based oracle: for each CRDT
+   instance, build a small pool of reachable states (mutations plus joins
+   of divergent replicas) and check, over every ordered pair, that the
+   structural delta agrees with [Delta.Make], satisfies the Δ contract
+   (Δ(a,b) ⊔ b = a ⊔ b), and is minimal (no irreducible of Δ(a,b) is
+   below b). *)
+module Oracle_check
+    (L : Lattice_intf.DECOMPOSABLE) (G : sig
+      val name : string
+      val states : L.t list
+    end) =
+struct
+  module D = Delta.Make (L)
+
+  let all_pairs f = List.iter (fun a -> List.iter (f a) G.states) G.states
+
+  let tests =
+    [
+      Alcotest.test_case (G.name ^ ": structural Δ = oracle Δ") `Quick
+        (fun () ->
+          all_pairs (fun a b ->
+              check "agrees with Delta.Make" true
+                (L.equal (L.delta a b) (D.delta a b))));
+      Alcotest.test_case (G.name ^ ": Δ(a,b) ⊔ b = a ⊔ b") `Quick (fun () ->
+          all_pairs (fun a b ->
+              check "correct" true
+                (L.equal (L.join (L.delta a b) b) (L.join a b))));
+      Alcotest.test_case (G.name ^ ": no y ∈ ⇓Δ(a,b) is ⊑ b") `Quick
+        (fun () ->
+          all_pairs (fun a b ->
+              check "minimal" true
+                (List.for_all
+                   (fun y -> not (L.leq y b))
+                   (L.decompose (L.delta a b)))));
+      Alcotest.test_case (G.name ^ ": fold_decompose matches decompose")
+        `Quick (fun () ->
+          List.iter
+            (fun a ->
+              let streamed =
+                List.sort L.compare (L.fold_decompose List.cons a [])
+              in
+              let listed = List.sort L.compare (L.decompose a) in
+              check "same irreducibles" true
+                (List.length streamed = List.length listed
+                && List.for_all2 L.equal streamed listed))
+            G.states);
+    ]
+end
+
+(* State pools per instance.  Joins of divergent replicas are included so
+   pairs with genuinely concurrent information appear. *)
+
+let fold_ops (type s o) (module C : Lattice_intf.CRDT
+               with type t = s and type op = o) ops =
+  List.fold_left (fun x (i, op) -> C.mutate op (Replica_id.of_int i) x)
+    C.bottom ops
+
+module Gcounter_oracle =
+  Oracle_check
+    (Gcounter)
+    (struct
+      let name = "GCounter"
+
+      let states =
+        [
+          Gcounter.bottom;
+          Gcounter.of_list [ (a, 3) ];
+          Gcounter.of_list [ (a, 5); (b, 2) ];
+          Gcounter.of_list [ (a, 1); (b, 7) ];
+        ]
+    end)
+
+module Gset_oracle =
+  Oracle_check
+    (S)
+    (struct
+      let name = "GSet<string>"
+
+      let states =
+        [
+          S.bottom;
+          S.of_list [ "a" ];
+          S.of_list [ "a"; "b" ];
+          S.of_list [ "b"; "c"; "d" ];
+        ]
+    end)
+
+module Gmap_oracle =
+  Oracle_check
+    (Gmap.Versioned)
+    (struct
+      let name = "GMap<int,Version>"
+
+      let states =
+        [
+          Gmap.Versioned.bottom;
+          Gmap.Versioned.of_list [ (1, 2) ];
+          Gmap.Versioned.of_list [ (1, 1); (2, 4) ];
+          Gmap.Versioned.of_list [ (2, 2); (3, 1) ];
+        ]
+    end)
+
+module Pncounter_oracle =
+  Oracle_check
+    (Pncounter)
+    (struct
+      let name = "PNCounter"
+
+      let states =
+        [
+          Pncounter.bottom;
+          fold_ops (module Pncounter) [ (0, Pncounter.Inc 3) ];
+          fold_ops (module Pncounter)
+            [ (0, Pncounter.Inc 2); (1, Pncounter.Dec 1) ];
+          fold_ops (module Pncounter)
+            [ (1, Pncounter.Inc 5); (1, Pncounter.Dec 2); (0, Pncounter.Inc 1) ];
+        ]
+    end)
+
+module Tps = Two_pset.Make (Powerset.Int_elt)
+
+module Two_pset_oracle =
+  Oracle_check
+    (Tps)
+    (struct
+      let name = "2PSet<int>"
+
+      let states =
+        [
+          Tps.bottom;
+          fold_ops (module Tps) [ (0, Tps.Add 1) ];
+          fold_ops (module Tps) [ (0, Tps.Add 1); (0, Tps.Remove 1) ];
+          fold_ops (module Tps) [ (1, Tps.Add 2); (1, Tps.Add 3) ];
+        ]
+    end)
+
+module Aw = Aw_set.Of_string
+
+module Aw_oracle =
+  Oracle_check
+    (Aw)
+    (struct
+      let name = "AW OR-Set"
+
+      let divergent =
+        let x = fold_ops (module Aw) [ (0, Aw.Add "p") ] in
+        let y = fold_ops (module Aw) [ (1, Aw.Add "p"); (1, Aw.Remove "p") ] in
+        Aw.join x y
+
+      let states =
+        [
+          Aw.bottom;
+          fold_ops (module Aw) [ (0, Aw.Add "p") ];
+          fold_ops (module Aw) [ (0, Aw.Add "p"); (0, Aw.Remove "p") ];
+          divergent;
+        ]
+    end)
+
+module Mv_oracle =
+  Oracle_check
+    (Mv_register)
+    (struct
+      let name = "MV register"
+
+      let concurrent =
+        let base = fold_ops (module Mv_register) [ (0, Mv_register.Write "x") ] in
+        Mv_register.join
+          (Mv_register.mutate (Mv_register.Write "l") a base)
+          (Mv_register.mutate (Mv_register.Write "r") b base)
+
+      let states =
+        [
+          Mv_register.bottom;
+          fold_ops (module Mv_register) [ (0, Mv_register.Write "x") ];
+          concurrent;
+        ]
+    end)
+
+module Lww_oracle =
+  Oracle_check
+    (Lww_register)
+    (struct
+      let name = "LWW register"
+
+      let states =
+        [
+          Lww_register.bottom;
+          (1, "u");
+          (2, "v");
+          (2, "w");
+        ]
+    end)
+
+module Flag_oracle =
+  Oracle_check
+    (Epoch_flag)
+    (struct
+      let name = "Epoch flag"
+      let states = [ Epoch_flag.bottom; (0, true); (1, false); (1, true) ]
+    end)
+
+module Resettable_oracle =
+  Oracle_check
+    (Resettable_counter)
+    (struct
+      let name = "Resettable counter"
+
+      let states =
+        [
+          Resettable_counter.bottom;
+          fold_ops (module Resettable_counter) [ (0, Resettable_counter.Inc 3) ];
+          fold_ops (module Resettable_counter)
+            [ (0, Resettable_counter.Inc 3); (1, Resettable_counter.Reset) ];
+          fold_ops (module Resettable_counter)
+            [
+              (0, Resettable_counter.Inc 1);
+              (1, Resettable_counter.Reset);
+              (1, Resettable_counter.Inc 4);
+            ];
+        ]
+    end)
+
+module Bounded_oracle =
+  Oracle_check
+    (Bounded_counter)
+    (struct
+      let name = "Bounded counter"
+
+      let states =
+        [
+          Bounded_counter.bottom;
+          fold_ops (module Bounded_counter) [ (0, Bounded_counter.Inc 5) ];
+          fold_ops (module Bounded_counter)
+            [ (0, Bounded_counter.Inc 5); (0, Bounded_counter.Dec 2) ];
+          fold_ops (module Bounded_counter)
+            [
+              (0, Bounded_counter.Inc 5);
+              ( 0,
+                Bounded_counter.Transfer
+                  { amount = 2; target = Replica_id.of_int 1 } );
+            ];
+        ]
+    end)
+
+let oracle_suites =
+  Gcounter_oracle.tests @ Gset_oracle.tests @ Gmap_oracle.tests
+  @ Pncounter_oracle.tests @ Two_pset_oracle.tests @ Aw_oracle.tests
+  @ Mv_oracle.tests @ Lww_oracle.tests @ Flag_oracle.tests
+  @ Resettable_oracle.tests @ Bounded_oracle.tests
+
 let () =
   Alcotest.run "delta"
     [
@@ -137,4 +387,5 @@ let () =
       ("Fig. 4", fig4);
       ("Fig. 5", fig5);
       ("validators", validators);
+      ("structural Δ vs oracle", oracle_suites);
     ]

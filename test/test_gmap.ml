@@ -25,6 +25,25 @@ let basics =
         let m = G.apply 1 Version.Bump i G.empty in
         let m = G.apply 2 Version.Bump i m in
         Alcotest.(check (list int)) "keys" [ 1; 2 ] (G.keys m));
+    Alcotest.test_case "leq regression: single-walk order check" `Quick
+      (fun () ->
+        (* The order is pointwise; the implementation walks both maps
+           simultaneously (one merge) instead of a find per key.  Pin
+           every branch: missing key in m2, pointwise violation, equal
+           maps, both bottoms, and disjoint key ranges. *)
+        let m12 = G.of_list [ (1, 3); (2, 1) ] in
+        check "⊥ ⊑ m" true (G.leq G.empty m12);
+        check "m ⋢ ⊥" false (G.leq m12 G.empty);
+        check "m ⊑ m" true (G.leq m12 m12);
+        check "pointwise ≤" true (G.leq m12 (G.of_list [ (1, 3); (2, 5) ]));
+        check "pointwise violation" false
+          (G.leq m12 (G.of_list [ (1, 2); (2, 5) ]));
+        check "key only in m1 (before m2's range)" false
+          (G.leq (G.of_list [ (0, 1) ]) (G.of_list [ (5, 9) ]));
+        check "key only in m1 (after m2's range)" false
+          (G.leq (G.of_list [ (9, 1) ]) (G.of_list [ (5, 9) ]));
+        check "m1 keys a strict subset" true
+          (G.leq (G.of_list [ (2, 1) ]) m12));
   ]
 
 let delta_tests =

@@ -27,6 +27,22 @@ let basics =
         check "subset" true (S.leq (S.of_list [ "a" ]) (S.of_list [ "a"; "b" ]));
         check "not subset" false
           (S.leq (S.of_list [ "z" ]) (S.of_list [ "a"; "b" ])));
+    Alcotest.test_case "leq regression: edges of the subset walk" `Quick
+      (fun () ->
+        (* Pin the corner cases of the short-circuiting order check:
+           ⊥ at both ends, equality, extra elements on either side, and a
+           violating element sorting before/after the common prefix. *)
+        let abc = S.of_list [ "a"; "b"; "c" ] in
+        check "⊥ ⊑ s" true (S.leq S.bottom abc);
+        check "s ⋢ ⊥" false (S.leq abc S.bottom);
+        check "⊥ ⊑ ⊥" true (S.leq S.bottom S.bottom);
+        check "s ⊑ s" true (S.leq abc abc);
+        check "first element missing" false
+          (S.leq (S.of_list [ "A"; "b" ]) (S.of_list [ "b"; "c" ]));
+        check "last element missing" false
+          (S.leq (S.of_list [ "b"; "z" ]) (S.of_list [ "a"; "b"; "c" ]));
+        check "interleaved subset" true
+          (S.leq (S.of_list [ "a"; "c" ]) (S.of_list [ "a"; "b"; "c"; "d" ])));
   ]
 
 let delta_tests =
