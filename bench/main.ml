@@ -14,14 +14,14 @@
 let all_ids =
   [
     "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
-    "ablation"; "cpu"; "delta";
+    "ablation"; "cpu"; "delta"; "sim_scale";
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [--quick|--paper] [--json] [%s ...]\n(fig11 also prints \
-     Fig 12; no ids = run everything; --json makes `delta` write \
-     BENCH_delta_kernels.json)\n"
+     Fig 12; no ids = run everything; --json makes `delta` / `sim_scale` \
+     write BENCH_delta_kernels.json / BENCH_sim_scale.json)\n"
     (String.concat "|" all_ids)
 
 let () =
@@ -68,6 +68,10 @@ let () =
         | "delta" ->
             Delta_kernels.run ~quick
               ?json_path:(if json then Some "BENCH_delta_kernels.json" else None)
+              ()
+        | "sim_scale" ->
+            Sim_scale.run ~quick
+              ?json_path:(if json then Some "BENCH_sim_scale.json" else None)
               ()
         | _ -> assert false)
       ids;

@@ -42,6 +42,14 @@ let rounds_arg =
     & info [ "rounds"; "r" ] ~docv:"R"
         ~doc:"Synchronization rounds (one update per node per round).")
 
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains"; "d" ] ~docv:"D"
+        ~doc:
+          "Worker domains for the simulation engine (1 = sequential). Any \
+           value yields bit-identical results; speedups need as many cores.")
+
 (* -- micro -------------------------------------------------------------- *)
 
 let print_outcomes outcomes =
@@ -62,7 +70,7 @@ let print_outcomes outcomes =
         (if o.converged then "" else "  NOT CONVERGED"))
     outcomes
 
-let run_micro crdt topology nodes rounds k =
+let run_micro crdt topology nodes rounds k domains =
   let topo = make_topology topology nodes in
   Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
     rounds;
@@ -70,20 +78,20 @@ let run_micro crdt topology nodes rounds k =
   | "gset" ->
       let module H = Harness.Make (Gset.Of_int) in
       print_outcomes
-        (H.run ~topology:topo ~rounds
+        (H.run ~domains ~topology:topo ~rounds
            ~ops:(fun ~round ~node state ->
              Workload.gset ~nodes ~round ~node state)
            ())
   | "gcounter" ->
       let module H = Harness.Make (Gcounter) in
       print_outcomes
-        (H.run ~topology:topo ~rounds
+        (H.run ~domains ~topology:topo ~rounds
            ~ops:(fun ~round ~node state -> Workload.gcounter ~round ~node state)
            ())
   | "gmap" ->
       let module H = Harness.Make (Gmap.Versioned) in
       print_outcomes
-        (H.run ~topology:topo ~rounds
+        (H.run ~domains ~topology:topo ~rounds
            ~ops:(fun ~round ~node state ->
              Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
            ())
@@ -93,7 +101,7 @@ let run_micro crdt topology nodes rounds k =
          is excluded because Remove reads the local state. *)
       let selection = { Harness.all_protocols with op_based = false } in
       print_outcomes
-        (H.run ~selection ~topology:topo ~rounds
+        (H.run ~selection ~domains ~topology:topo ~rounds
            ~ops:(fun ~round ~node state ->
              let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
              if round mod 3 = 0 && node = 0 then
@@ -120,11 +128,13 @@ let micro_cmd =
   in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
-    Term.(const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k)
+    Term.(
+      const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k
+      $ domains_arg)
 
 (* -- retwis ------------------------------------------------------------- *)
 
-let run_retwis zipf users topology nodes rounds =
+let run_retwis zipf users topology nodes rounds domains =
   let topo = make_topology topology nodes in
   Printf.printf
     "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\n" users
@@ -138,14 +148,14 @@ let run_retwis zipf users topology nodes rounds =
   let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
   let w1 = wl () in
   let rc =
-    Rc.run ~equal:Classic.equal_states ~topology:topo ~rounds
+    Rc.run ~domains ~equal:Classic.equal_states ~topology:topo ~rounds
       ~ops:(fun ~round ~node state ->
         Crdt_retwis.Workload.ops_sharded w1 ~round ~node state)
       ()
   in
   let w2 = wl () in
   let rb =
-    Rb.run ~equal:BpRr.equal_states ~topology:topo ~rounds
+    Rb.run ~domains ~equal:BpRr.equal_states ~topology:topo ~rounds
       ~ops:(fun ~round ~node state ->
         Crdt_retwis.Workload.ops_sharded w2 ~round ~node state)
       ()
@@ -177,7 +187,8 @@ let retwis_cmd =
     (Cmd.info "retwis"
        ~doc:"Run the Retwis application benchmark (classic vs BP+RR)")
     Term.(
-      const run_retwis $ zipf $ users $ topology_arg $ nodes_arg $ rounds_arg)
+      const run_retwis $ zipf $ users $ topology_arg $ nodes_arg $ rounds_arg
+      $ domains_arg)
 
 (* -- partition ---------------------------------------------------------- *)
 

@@ -7,7 +7,17 @@
     [⇓f = { {k ↦ v} | k ∈ dom f ∧ v ∈ ⇓f(k) }].
 
     Invariant: no key is ever bound to [⊥] (such a binding is
-    indistinguishable from absence and would break [equal]/[weight]). *)
+    indistinguishable from absence and would break [equal]/[weight]).
+
+    {b Cached sizes.}  The representation carries the map's total weight
+    and byte size, maintained incrementally: [join] corrects the sum of
+    both operands' sizes by the overlap on collided keys (which the union
+    callback visits anyway), [set] adjusts by the replaced binding.
+    [weight] and [byte_size] are therefore O(1) — they sit on the
+    simulator's per-message accounting and per-round memory-snapshot hot
+    paths, where the former fold-the-whole-map cost dominated profiles.
+    When the value lattice itself caches its sizes (e.g. nested maps),
+    the per-collision correction stays O(1) too. *)
 
 module type KEY = sig
   type t
@@ -44,70 +54,146 @@ module Make (K : KEY) (V : Lattice_intf.DECOMPOSABLE) : sig
 end = struct
   module M = Map.Make (K)
 
-  type t = V.t M.t
+  type t = {
+    m : V.t M.t;
+    c : int;  (** cardinal. *)
+    w : int;  (** Σ [V.weight] over the bindings. *)
+    b : int;  (** Σ [K.byte_size] + [V.byte_size] over the bindings. *)
+  }
 
-  let bottom = M.empty
-  let is_bottom = M.is_empty
+  let bottom = { m = M.empty; c = 0; w = 0; b = 0 }
+  let is_bottom t = M.is_empty t.m
+  let weight t = t.w
+  let byte_size t = t.b
 
-  let join m1 m2 =
-    M.union (fun _k v1 v2 -> Some (V.join v1 v2)) m1 m2
+  let join_union t1 t2 =
+    (* Start from the disjoint sum and subtract the overlap: the union
+       callback runs exactly on the collided keys, where the key and the
+       two value sizes were each counted twice. *)
+    let c = ref (t1.c + t2.c) in
+    let w = ref (t1.w + t2.w) and b = ref (t1.b + t2.b) in
+    let m =
+      M.union
+        (fun k v1 v2 ->
+          let v = V.join v1 v2 in
+          decr c;
+          w := !w - V.weight v1 - V.weight v2 + V.weight v;
+          b :=
+            !b - K.byte_size k - V.byte_size v1 - V.byte_size v2
+            + V.byte_size v;
+          Some v)
+        t1.m t2.m
+    in
+    { m; c = !c; w = !w; b = !b }
 
-  let find k m = match M.find_opt k m with Some v -> v | None -> V.bottom
+  let find k t = match M.find_opt k t.m with Some v -> v | None -> V.bottom
 
-  exception Not_leq
+  (* The order check picks its walk by the cached cardinals.  A key
+     present only in [m1] violates the order directly (the no-⊥-binding
+     invariant means its value is non-bottom), so [c1 > c2] is an O(1)
+     refutation by pigeonhole.  A small [m1] against a large [m2] — the
+     δ-group-vs-state shape — walks only [m1] with O(log |m2|) lookups;
+     comparable sizes use an allocation-free simultaneous walk over both
+     ascending sequences.  (A [merge]-based walk would allocate the
+     merged map just to discard it.)  Both walks short-circuit at the
+     first violating key. *)
+  let leq_lookup m1 m2 =
+    M.for_all
+      (fun k v1 ->
+        match M.find_opt k m2 with Some v2 -> V.leq v1 v2 | None -> false)
+      m1
 
-  (* One simultaneous walk of both maps, short-circuiting at the first
-     violating key — instead of an O(log n) [find] in [m2] per key of
-     [m1].  A key present only in [m1] violates the order directly (the
-     no-⊥-binding invariant means its value is non-bottom). *)
-  let leq m1 m2 =
-    match
-      M.merge
-        (fun _k v1 v2 ->
-          match (v1, v2) with
-          | None, _ -> None
-          | Some v1, Some v2 -> if V.leq v1 v2 then None else raise Not_leq
-          | Some _, None -> raise Not_leq)
-        m1 m2
-    with
-    | _ -> true
-    | exception Not_leq -> false
-  let equal = M.equal V.equal
-  let compare = M.compare V.compare
-  let weight m = M.fold (fun _ v acc -> acc + V.weight v) m 0
+  let leq_walk m1 m2 =
+    let rec go s1 s2 =
+      match s1 () with
+      | Seq.Nil -> true
+      | Seq.Cons ((k1, v1), s1') ->
+          let rec advance s2 =
+            match s2 () with
+            | Seq.Nil -> false (* k1 (and the rest of m1) missing in m2. *)
+            | Seq.Cons ((k2, v2), s2') -> (
+                match K.compare k1 k2 with
+                | n when n < 0 -> false (* k1 missing in m2. *)
+                | 0 -> V.leq v1 v2 && go s1' s2'
+                | _ -> advance s2')
+          in
+          advance s2
+    in
+    go (M.to_seq m1) (M.to_seq m2)
 
-  let byte_size m =
-    M.fold (fun k v acc -> acc + K.byte_size k + V.byte_size v) m 0
+  let leq t1 t2 =
+    t1.m == t2.m
+    || t1.c <= t2.c
+       &&
+       if 8 * t1.c <= t2.c then leq_lookup t1.m t2.m
+       else leq_walk t1.m t2.m
 
-  let decompose m =
+  let equal t1 t2 = t1.m == t2.m || (t1.w = t2.w && M.equal V.equal t1.m t2.m)
+  let compare t1 t2 = M.compare V.compare t1.m t2.m
+
+  let decompose t =
     M.fold
       (fun k v acc ->
         List.fold_left
-          (fun acc d -> M.singleton k d :: acc)
+          (fun acc d ->
+            {
+              m = M.singleton k d;
+              c = 1;
+              w = V.weight d;
+              b = K.byte_size k + V.byte_size d;
+            }
+            :: acc)
           acc (V.decompose v))
-      m []
+      t.m []
 
-  let fold_decompose f m acc =
+  let fold_decompose f t acc =
     M.fold
       (fun k v acc ->
-        V.fold_decompose (fun d acc -> f (M.singleton k d) acc) v acc)
-      m acc
+        V.fold_decompose
+          (fun d acc ->
+            f
+              {
+                m = M.singleton k d;
+                c = 1;
+                w = V.weight d;
+                b = K.byte_size k + V.byte_size d;
+              }
+              acc)
+          v acc)
+      t.m acc
 
   (* Δ is pointwise: keys only in [m1] survive whole, shared keys recurse
-     into the value lattice, keys only in [m2] contribute nothing.  One
-     merge walk, no per-irreducible singleton maps. *)
-  let delta m1 m2 =
-    M.merge
-      (fun _k v1 v2 ->
-        match (v1, v2) with
-        | None, _ -> None
-        | Some v1, None -> Some v1
-        | Some v1, Some v2 ->
+     into the value lattice, keys only in [m2] contribute nothing.  Like
+     [leq], this walks only [m1] with lookups into [m2] — the common call
+     is Δ(small received δ-group, large local state), where a
+     simultaneous merge walk would traverse the whole state per
+     message. *)
+  let delta t1 t2 =
+    M.fold
+      (fun k v1 acc ->
+        let keep d =
+          {
+            m = M.add k d acc.m;
+            c = acc.c + 1;
+            w = acc.w + V.weight d;
+            b = acc.b + K.byte_size k + V.byte_size d;
+          }
+        in
+        match M.find_opt k t2.m with
+        | None -> keep v1
+        | Some v2 ->
             let d = V.delta v1 v2 in
-            if V.is_bottom d then None else Some d)
-      m1 m2
+            if V.is_bottom d then acc else keep d)
+      t1.m bottom
 
-  let pp ppf m =
+  (* Note: a Δ-based join ([a ⊔ b = b ⊔ Δ(a,b)], extracting the smaller
+     operand's strictly-new part before a small-vs-big union) measured
+     {e slower} than the plain union on the anti-entropy shapes it
+     targets — the stdlib union is already subtree-sharing and
+     split-based, so the extra lookup walk never pays for itself. *)
+  let join = join_union
+
+  let pp ppf t =
     let pp_binding ppf (k, v) =
       Format.fprintf ppf "@[<1>%a ↦@ %a@]" K.pp k V.pp v
     in
@@ -115,16 +201,43 @@ end = struct
       (Format.pp_print_list
          ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
          pp_binding)
-      (M.bindings m)
+      (M.bindings t.m)
 
-  let empty = M.empty
-  let singleton k v = if V.is_bottom v then M.empty else M.singleton k v
+  let empty = bottom
 
-  let set k v m = if V.is_bottom v then M.remove k m else M.add k v m
-  let join_entry k v m = join m (singleton k v)
-  let cardinal = M.cardinal
-  let bindings = M.bindings
-  let keys m = List.map fst (M.bindings m)
-  let fold = M.fold
-  let of_list l = List.fold_left (fun m (k, v) -> set k v m) M.empty l
+  let singleton k v =
+    if V.is_bottom v then bottom
+    else
+      {
+        m = M.singleton k v;
+        c = 1;
+        w = V.weight v;
+        b = K.byte_size k + V.byte_size v;
+      }
+
+  let set k v t =
+    let old = M.find_opt k t.m in
+    let w, b =
+      match old with
+      | None -> (t.w, t.b)
+      | Some o -> (t.w - V.weight o, t.b - K.byte_size k - V.byte_size o)
+    in
+    if V.is_bottom v then
+      match old with
+      | None -> t
+      | Some _ -> { m = M.remove k t.m; c = t.c - 1; w; b }
+    else
+      {
+        m = M.add k v t.m;
+        c = (if old = None then t.c + 1 else t.c);
+        w = w + V.weight v;
+        b = b + K.byte_size k + V.byte_size v;
+      }
+
+  let join_entry k v t = join t (singleton k v)
+  let cardinal t = t.c
+  let bindings t = M.bindings t.m
+  let keys t = List.map fst (M.bindings t.m)
+  let fold f t acc = M.fold f t.m acc
+  let of_list l = List.fold_left (fun t (k, v) -> set k v t) bottom l
 end

@@ -24,18 +24,28 @@
     are only evicted once every neighbor acknowledged them.
 
     {b Buffer representation.}  In the common (non-ack) mode the δ-buffer
-    is {e not} a list of entries: it is one per-origin δ-group, joined
-    incrementally at [store] time, plus the running join of all of them.
-    [store] therefore costs one join (O(1) amortized in the buffer
-    length, instead of the list-append O(|Bᵢ|)), and [tick] sends the
-    precomputed running join — under BP, the per-destination "everything
+    is {e not} a list of entries: it is one joined δ-group per origin
+    (maintained only under BP, which is the sole consumer of origin
+    tags), plus the running join of all of them.  [store] therefore
+    costs one join (two under BP) — O(1) amortized in the buffer length,
+    instead of the list-append O(|Bᵢ|) — and [tick] sends the
+    precomputed running join; under BP, the per-destination "everything
     except what you sent me" groups are derived with O(origins)
     prefix/suffix joins for the whole tick rather than a fold over the
     full buffer per neighbor.  Only [ack_mode] keeps the seq-tagged entry
     list, because selective eviction needs per-entry sequence numbers.
     The RR extraction in [handle] uses the structural
     {!Crdt_core.Lattice_intf.DECOMPOSABLE.delta}, so no received δ-group
-    is ever decomposed into singletons on the hot path. *)
+    is ever decomposed into singletons on the hot path.
+
+    {b Message cost caching.}  Every [Delta] message carries its δ-group's
+    weight and byte size, computed once when the message is built ([tick]
+    needs both anyway for the work charge).  The engine's per-message
+    accounting ([payload_weight] / [payload_bytes]) and the receiver's
+    work charge in [handle] are then O(1) field reads instead of a full
+    traversal of the group per delivery — classic sends the {e same}
+    group to every neighbor, so the pre-cache cost was
+    O(degree · |group|) per tick for accounting alone. *)
 
 type config = { bp : bool; rr : bool; ack_mode : bool }
 
@@ -74,9 +84,12 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     neighbors : int list;
     x : C.t;
     groups : C.t Origins.t;
-        (** [Bᵢ] in non-ack mode: origin ↦ join of the δ-groups stored
-            from that origin since the last tick. *)
-    pending : C.t;  (** join of all of [groups], maintained at [store]. *)
+        (** BP, non-ack mode: origin ↦ join of the δ-groups stored from
+            that origin since the last tick.  Empty when BP is off — only
+            BP consults origins, so the buffer is just [pending]. *)
+    pending : C.t;
+        (** [Bᵢ] in non-ack mode: join of every δ-group stored since the
+            last tick, maintained at [store]. *)
     entries : entry list;  (** [Bᵢ] in ack mode only, newest first. *)
     next_seq : int;
     acked : Vclock.t;  (** ack mode: highest seq acked per neighbor. *)
@@ -84,7 +97,9 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   }
 
   type message =
-    | Delta of { group : C.t; seq : int }
+    | Delta of { group : C.t; seq : int; weight : int; bytes : int }
+        (** [weight]/[bytes] cache [C.weight group]/[C.byte_size group],
+            computed once at send time. *)
     | Ack of { seq : int }
 
   let protocol_name = config_name Cfg.config
@@ -122,9 +137,11 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       {
         n with
         groups =
-          Origins.update origin
-            (function None -> Some delta | Some g -> Some (C.join g delta))
-            n.groups;
+          (if cfg.bp then
+             Origins.update origin
+               (function None -> Some delta | Some g -> Some (C.join g delta))
+               n.groups
+           else n.groups);
         pending = C.join n.pending delta;
       }
 
@@ -161,37 +178,38 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     done;
     !excl
 
+  let mk_delta group seq =
+    Delta { group; seq; weight = C.weight group; bytes = C.byte_size group }
+
   let tick n =
     let msgs =
       if cfg.ack_mode then
         List.filter_map
           (fun j ->
             let g = group_for_ack n j in
-            if C.is_bottom g then None
-            else Some (j, Delta { group = g; seq = n.next_seq }))
+            if C.is_bottom g then None else Some (j, mk_delta g n.next_seq))
           n.neighbors
       else if C.is_bottom n.pending then []
       else
+        (* The full buffer goes to every non-origin neighbor: measure it
+           once and share the message costs across those sends. *)
+        let all = mk_delta n.pending n.next_seq in
         let excl =
           if cfg.bp then exclusive_groups n.groups else Origins.empty
         in
         List.filter_map
           (fun j ->
-            let g =
-              if cfg.bp then
-                match Origins.find_opt j excl with
-                | Some g -> g  (* j is an origin: everything but its own. *)
-                | None -> n.pending
-              else n.pending
-            in
-            if C.is_bottom g then None
-            else Some (j, Delta { group = g; seq = n.next_seq }))
+            match Origins.find_opt j excl with
+            | Some g ->
+                (* j is an origin: everything but its own. *)
+                if C.is_bottom g then None else Some (j, mk_delta g n.next_seq)
+            | None -> Some (j, all))
           n.neighbors
     in
     let cost =
       List.fold_left
         (fun acc (_, m) ->
-          match m with Delta { group; _ } -> acc + C.weight group | Ack _ -> acc)
+          match m with Delta { weight; _ } -> acc + weight | Ack _ -> acc)
         0 msgs
     in
     let n =
@@ -218,27 +236,27 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     | Ack { seq } ->
         let acked = Vclock.set src (max seq (Vclock.get src n.acked)) n.acked in
         ({ n with acked }, [])
-    | Delta { group = d; seq } ->
+    | Delta { group = d; seq; weight; bytes = _ } ->
         let ack = if cfg.ack_mode then [ (src, Ack { seq }) ] else [] in
         if cfg.rr then begin
           (* d = Δ(d, xᵢ); if d ≠ ⊥ then store(d, src) — the structural
              delta walks the received group against the local state
              without decomposing it into singletons. *)
           let extracted = C.delta d n.x in
-          let n = { n with work = n.work + C.weight d } in
+          let n = { n with work = n.work + weight } in
           if C.is_bottom extracted then (n, ack)
           else (store n extracted src, ack)
         end
         else begin
           (* classic: if d ⋢ xᵢ then store(d, src). *)
-          let n = { n with work = n.work + C.weight d } in
+          let n = { n with work = n.work + weight } in
           if C.leq d n.x then (n, ack) else (store n d src, ack)
         end
 
   let state n = n.x
 
   let payload_weight = function
-    | Delta { group; _ } -> C.weight group
+    | Delta { weight; _ } -> weight
     | Ack _ -> 0
 
   (* Classic tags nothing; BP/ack tag each message with one sequence
@@ -250,22 +268,31 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     | Ack _ -> 1
 
   let payload_bytes = function
-    | Delta { group; _ } -> C.byte_size group
+    | Delta { bytes; _ } -> bytes
     | Ack _ -> 0
 
   let metadata_bytes = function
     | Delta _ -> if tagged then 8 else 0
     | Ack _ -> 8
 
-  let memory_weight n =
-    C.weight n.x
-    + List.fold_left (fun acc e -> acc + C.weight e.delta) 0 n.entries
-    + Origins.fold (fun _ g acc -> acc + C.weight g) n.groups 0
+  (* The buffer [Bᵢ]: seq-tagged entries (ack), per-origin groups (BP),
+     or the single joined pending group (classic/RR, where origins are
+     never consulted). *)
+  let buffer_weight n =
+    if cfg.ack_mode then
+      List.fold_left (fun acc e -> acc + C.weight e.delta) 0 n.entries
+    else if cfg.bp then Origins.fold (fun _ g acc -> acc + C.weight g) n.groups 0
+    else C.weight n.pending
 
-  let memory_bytes n =
-    C.byte_size n.x
-    + List.fold_left (fun acc e -> acc + C.byte_size e.delta) 0 n.entries
-    + Origins.fold (fun _ g acc -> acc + C.byte_size g) n.groups 0
+  let buffer_bytes n =
+    if cfg.ack_mode then
+      List.fold_left (fun acc e -> acc + C.byte_size e.delta) 0 n.entries
+    else if cfg.bp then
+      Origins.fold (fun _ g acc -> acc + C.byte_size g) n.groups 0
+    else C.byte_size n.pending
+
+  let memory_weight n = C.weight n.x + buffer_weight n
+  let memory_bytes n = C.byte_size n.x + buffer_bytes n
 
   (* Delta-based metadata: one sequence number per neighbor (Fig. 9). *)
   let metadata_memory_bytes n = 8 * List.length n.neighbors

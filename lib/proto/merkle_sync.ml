@@ -156,19 +156,21 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
         (* Join whatever we miss; on the requesting leg, answer once with
            the elements of our bucket the sender provably lacks (they
            just told us the bucket's full contents), keeping the exchange
-           symmetric without recomputing the digest tree. *)
+           symmetric.  The memoized digest tree already partitions ⇓x by
+           bucket, so the answer reads the cached bucket instead of
+           re-decomposing the full state: an unchanged replica (empty
+           [missing]) replies without rehashing anything, and a changed
+           one rebuilds the tree once here and reuses it at the next
+           [tick]. *)
         let theirs = List.fold_left C.join C.bottom elements in
         let missing = List.filter (fun y -> not (C.leq y n.x)) elements in
         let x = List.fold_left C.join n.x missing in
         let n = { n with x; work = n.work + List.length elements } in
         if reply then (n, [])
         else
-          let mine =
-            List.filter
-              (fun y -> bucket_of y = index && not (C.leq y theirs))
-              (C.decompose n.x)
-          in
-          let n = { n with work = n.work + C.weight n.x } in
+          let (_, b), n = with_tree n in
+          let mine = List.filter (fun y -> not (C.leq y theirs)) b.(index) in
+          let n = { n with work = n.work + List.length b.(index) } in
           if mine = [] then (n, [])
           else (n, [ (src, Bucket { index; elements = mine; reply = true }) ])
 

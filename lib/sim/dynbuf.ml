@@ -1,0 +1,45 @@
+(** Growable array buffer (a minimal [Dynarray] for OCaml 5.1).
+
+    The simulator's message queues are append-heavy and drained once per
+    delivery wave; a doubling array keeps every push O(1) amortized with
+    no per-element allocation, unlike the seed's [list @ list] queues.
+    [clear] only resets the length — the backing array (and the elements
+    it still references) is reused by the next wave, which is exactly
+    the recycling the engine wants. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    (* [x] doubles as the fill value, so no dummy element is needed. *)
+    let data = Array.make (if cap = 0 then 8 else 2 * cap) x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Dynbuf.get";
+  Array.unsafe_get t.data i
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done
+
+(** In-place Fisher–Yates shuffle over the live prefix. *)
+let shuffle ~rng t =
+  for i = t.len - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- tmp
+  done

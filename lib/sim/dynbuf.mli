@@ -1,0 +1,24 @@
+(** Growable array buffer (a minimal [Dynarray] for OCaml 5.1). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+(** Amortized O(1) append. *)
+
+val get : 'a t -> int -> 'a
+(** [get t i] for [0 <= i < length t]; raises [Invalid_argument]
+    otherwise. *)
+
+val clear : 'a t -> unit
+(** Reset the length to 0.  The backing array is kept (and its elements
+    stay reachable until overwritten) so the buffer can be refilled
+    without allocating. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val shuffle : rng:Random.State.t -> 'a t -> unit
+(** In-place Fisher–Yates shuffle of the live prefix. *)

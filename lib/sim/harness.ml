@@ -62,8 +62,8 @@ module Make (C : Protocol_intf.CRDT) = struct
   struct
     module R = Runner.Make (P)
 
-    let go ~topology ~rounds ~(ops : ops) =
-      let res = R.run ~equal:C.equal ~topology ~rounds ~ops () in
+    let go ?(domains = 1) ~topology ~rounds ~(ops : ops) () =
+      let res = R.run ~domains ~equal:C.equal ~topology ~rounds ~ops () in
       {
         protocol = P.protocol_name;
         summary = R.summary res;
@@ -85,22 +85,31 @@ module Make (C : Protocol_intf.CRDT) = struct
 
   (** Run the selected protocols over the same topology and operation
       stream; results come back in a stable order with BP+RR last
-      runnable as the ratio baseline. *)
-  let run ?(selection = all_protocols) ~topology ~rounds ~(ops : ops) () =
+      runnable as the ratio baseline.  [domains] selects the engine's
+      pool width (results are identical at any setting). *)
+  let run ?(selection = all_protocols) ?(domains = 1) ~topology ~rounds
+      ~(ops : ops) () =
     let maybe flag f acc = if flag then f () :: acc else acc in
     List.rev
       ([]
-      |> maybe selection.state_based (fun () -> State.go ~topology ~rounds ~ops)
+      |> maybe selection.state_based (fun () ->
+             State.go ~domains ~topology ~rounds ~ops ())
       |> maybe selection.delta_classic (fun () ->
-             Classic.go ~topology ~rounds ~ops)
-      |> maybe selection.delta_bp (fun () -> Bp.go ~topology ~rounds ~ops)
-      |> maybe selection.delta_rr (fun () -> Rr.go ~topology ~rounds ~ops)
-      |> maybe selection.delta_bp_rr (fun () -> BpRr.go ~topology ~rounds ~ops)
-      |> maybe selection.scuttlebutt (fun () -> Sb.go ~topology ~rounds ~ops)
+             Classic.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.delta_bp (fun () ->
+             Bp.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.delta_rr (fun () ->
+             Rr.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.delta_bp_rr (fun () ->
+             BpRr.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.scuttlebutt (fun () ->
+             Sb.go ~domains ~topology ~rounds ~ops ())
       |> maybe selection.scuttlebutt_gc (fun () ->
-             SbGc.go ~topology ~rounds ~ops)
-      |> maybe selection.op_based (fun () -> Op.go ~topology ~rounds ~ops)
-      |> maybe selection.merkle (fun () -> Merkle.go ~topology ~rounds ~ops))
+             SbGc.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.op_based (fun () ->
+             Op.go ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.merkle (fun () ->
+             Merkle.go ~domains ~topology ~rounds ~ops ()))
 
   (** Find the BP+RR baseline in a result list. *)
   let baseline outcomes =

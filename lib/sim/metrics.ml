@@ -13,6 +13,7 @@ type round = {
   memory_weight : int;  (** elements resident across all nodes after the round. *)
   memory_bytes : int;
   metadata_memory_bytes : int;
+  ops_applied : int;  (** application operations applied this round. *)
 }
 
 let empty_round =
@@ -25,6 +26,7 @@ let empty_round =
     memory_weight = 0;
     memory_bytes = 0;
     metadata_memory_bytes = 0;
+    ops_applied = 0;
   }
 
 type summary = {
@@ -38,6 +40,7 @@ type summary = {
   avg_memory_bytes : float;
   max_memory_weight : int;
   avg_metadata_memory_bytes : float;
+  total_ops : int;  (** application operations applied over the rounds. *)
 }
 
 let summarize (rounds : round array) : summary =
@@ -58,6 +61,7 @@ let summarize (rounds : round array) : summary =
     max_memory_weight = fold (fun acc r -> max acc r.memory_weight) 0;
     avg_metadata_memory_bytes =
       float_of_int (fold (fun acc r -> acc + r.metadata_memory_bytes) 0) /. fn;
+    total_ops = fold (fun acc r -> acc + r.ops_applied) 0;
   }
 
 (** Grand total of transmitted units (payload + metadata). *)
@@ -70,6 +74,15 @@ let metadata_fraction s =
   let total = total_transmission_bytes s in
   if total = 0 then 0.
   else float_of_int s.total_metadata_bytes /. float_of_int total
+
+(** Throughput over a measured wall-clock interval (the benches report
+    ops/sec and messages/sec instead of only totals). *)
+let ops_per_sec s ~seconds =
+  if seconds <= 0. then Float.nan else float_of_int s.total_ops /. seconds
+
+let msgs_per_sec s ~seconds =
+  if seconds <= 0. then Float.nan
+  else float_of_int s.total_messages /. seconds
 
 let ratio ~baseline x =
   if baseline = 0 then Float.nan else float_of_int x /. float_of_int baseline

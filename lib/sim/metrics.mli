@@ -14,6 +14,7 @@ type round = {
       (** elements resident across all nodes after the round. *)
   memory_bytes : int;
   metadata_memory_bytes : int;
+  ops_applied : int;  (** application operations applied this round. *)
 }
 
 val empty_round : round
@@ -30,9 +31,17 @@ type summary = {
   avg_memory_bytes : float;
   max_memory_weight : int;
   avg_metadata_memory_bytes : float;
+  total_ops : int;
+      (** application operations applied over the rounds. *)
 }
 
 val summarize : round array -> summary
+
+val ops_per_sec : summary -> seconds:float -> float
+(** Operations per wall-clock second; NaN on a non-positive interval. *)
+
+val msgs_per_sec : summary -> seconds:float -> float
+(** Messages per wall-clock second; NaN on a non-positive interval. *)
 
 val total_transmission : summary -> int
 (** Payload + metadata, in element units. *)

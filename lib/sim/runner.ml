@@ -5,11 +5,29 @@
     Per round, every node first executes its periodic update operations,
     then every node runs a synchronization step; messages are delivered
     and any protocol-level replies (e.g. Scuttlebutt's digest → pairs
-    exchange) are processed until the network drains.  Transport-level
-    faults can be injected: per-message duplication and reordering — the
-    channel properties state-based CRDTs must tolerate (Section I) — and
-    probabilistic message loss (tolerated by the retry-by-design
-    protocols: state-based, ack-mode delta, Scuttlebutt, Merkle).
+    exchange) are processed in waves until the network drains.
+    Transport-level faults can be injected: per-message duplication and
+    reordering — the channel properties state-based CRDTs must tolerate
+    (Section I) — and probabilistic message loss (tolerated by the
+    retry-by-design protocols: state-based, ack-mode delta, Scuttlebutt,
+    Merkle).
+
+    {2 Engine}
+
+    Delivery is organized as {e waves} of per-destination inboxes: a
+    wave handles every pending message, grouped by destination, and the
+    replies form the next wave.  Since [P.handle] only ever touches
+    [nodes.(dst)], the destinations of one wave are mutually
+    independent, which gives both the allocation-light sequential path
+    (growable array buffers instead of list appends, mutable counters
+    folded into a {!Metrics.round} once per round) and a race-free
+    parallel mode: a fixed {!Pool} of domains shards the node range, and
+    shard [s] owns nodes [s·n/W .. (s+1)·n/W) for ticking, delivery and
+    memory snapshots alike.  Fault randomness is drawn from
+    per-destination PRNG streams (seeded from [fault_plan.seed] and the
+    destination id) and per-shard counters are merged in shard order, so
+    for a fixed seed the parallel engine is bit-identical to the
+    sequential one at every [domains] setting.
 
     After the measured rounds, the runner performs quiescent
     synchronization rounds (no further operations) until all replicas
@@ -29,98 +47,200 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
   type fault_plan = {
     duplicate : float;  (** probability a delivered message is duplicated. *)
     drop : float;  (** probability a message is dropped (ack-mode only). *)
-    shuffle : bool;  (** randomize delivery order within a round. *)
-    rng : Random.State.t;
+    shuffle : bool;  (** randomize delivery order within a destination. *)
+    seed : int;
+        (** base seed of the per-destination fault streams: destination
+            [d] draws from [Random.State.make [| seed; d |]], so fault
+            decisions do not depend on how nodes are sharded across
+            domains. *)
   }
 
-  let no_faults =
-    { duplicate = 0.; drop = 0.; shuffle = false; rng = Random.State.make [| 7 |] }
+  let no_faults = { duplicate = 0.; drop = 0.; shuffle = false; seed = 7 }
 
-  let snapshot nodes (acc : Metrics.round) : Metrics.round =
-    let memory_weight = ref 0
-    and memory_bytes = ref 0
-    and metadata_memory_bytes = ref 0 in
-    Array.iter
-      (fun n ->
-        memory_weight := !memory_weight + P.memory_weight n;
-        memory_bytes := !memory_bytes + P.memory_bytes n;
-        metadata_memory_bytes :=
-          !metadata_memory_bytes + P.metadata_memory_bytes n)
-      nodes;
+  (* Per-shard accumulator: mutable counters bumped per message/node and
+     folded into an immutable Metrics.round once per round.  All fields
+     are additive ints, so merging in shard order yields the same sums
+     at every domain count. *)
+  type acc = {
+    mutable messages : int;
+    mutable payload : int;
+    mutable metadata : int;
+    mutable payload_bytes : int;
+    mutable metadata_bytes : int;
+    mutable memory_weight : int;
+    mutable memory_bytes : int;
+    mutable metadata_memory_bytes : int;
+  }
+
+  let make_acc () =
     {
-      acc with
-      memory_weight = !memory_weight;
-      memory_bytes = !memory_bytes;
-      metadata_memory_bytes = !metadata_memory_bytes;
+      messages = 0;
+      payload = 0;
+      metadata = 0;
+      payload_bytes = 0;
+      metadata_bytes = 0;
+      memory_weight = 0;
+      memory_bytes = 0;
+      metadata_memory_bytes = 0;
     }
 
-  (* Deliver a queue of (src, dst, message), accumulating measurements and
-     processing protocol replies until the network drains. *)
-  let deliver ~faults nodes queue (acc : Metrics.round) : Metrics.round =
-    let acc = ref acc in
-    let pending = Queue.create () in
-    let push msgs = List.iter (fun m -> Queue.add m pending) msgs in
-    push queue;
-    while not (Queue.is_empty pending) do
-      let batch =
-        if faults.shuffle then begin
-          let all = List.of_seq (Queue.to_seq pending) in
-          Queue.clear pending;
-          (* Fisher–Yates shuffle for delivery-order randomization. *)
-          let arr = Array.of_list all in
-          for i = Array.length arr - 1 downto 1 do
-            let j = Random.State.int faults.rng (i + 1) in
-            let tmp = arr.(i) in
-            arr.(i) <- arr.(j);
-            arr.(j) <- tmp
-          done;
-          Array.to_list arr
-        end
-        else begin
-          let all = List.of_seq (Queue.to_seq pending) in
-          Queue.clear pending;
-          all
-        end
+  let reset_acc a =
+    a.messages <- 0;
+    a.payload <- 0;
+    a.metadata <- 0;
+    a.payload_bytes <- 0;
+    a.metadata_bytes <- 0;
+    a.memory_weight <- 0;
+    a.memory_bytes <- 0;
+    a.metadata_memory_bytes <- 0
+
+  type engine = {
+    n : int;
+    shards : int;
+    nodes : P.node array;
+    pool : Pool.t;
+    faults : fault_plan;
+    faults_active : bool;
+    rngs : Random.State.t array;
+        (** per-destination fault streams; [[||]] on the fault-free fast
+            path, where no PRNG is ever consulted. *)
+    inbox : (int * P.message) Dynbuf.t array;
+        (** per-destination [(src, msg)] pending this wave. *)
+    out : (int * (int * P.message)) Dynbuf.t array;
+        (** per-shard [(dst, (src, msg))] produced this wave, in
+            production order. *)
+    accs : acc array;  (** per-shard counters. *)
+  }
+
+  (* Shard [s] owns the contiguous node range [lo s, hi s): contiguity
+     makes the shard-order merge of outboxes equal to the ascending
+     producing-node order the sequential engine uses, which is what
+     keeps per-destination message order independent of the domain
+     count. *)
+  let lo eng s = s * eng.n / eng.shards
+  let hi eng s = (s + 1) * eng.n / eng.shards
+
+  (* Tick phase: shard-local; messages go to the shard's outbox. *)
+  let tick_shard eng s =
+    let out = eng.out.(s) in
+    for i = lo eng s to hi eng s - 1 do
+      let node, msgs = P.tick eng.nodes.(i) in
+      eng.nodes.(i) <- node;
+      List.iter (fun (j, m) -> Dynbuf.push out (j, (i, m))) msgs
+    done
+
+  (* Route every outbox entry to its destination inbox.  Sequential, in
+     shard order; returns whether anything is pending. *)
+  let route eng =
+    let any = ref false in
+    Array.iter
+      (fun out ->
+        if not (Dynbuf.is_empty out) then begin
+          any := true;
+          Dynbuf.iter (fun (dst, payload) -> Dynbuf.push eng.inbox.(dst) payload) out;
+          Dynbuf.clear out
+        end)
+      eng.out;
+    !any
+
+  (* Handle one wave of destination [d]'s inbox (shard-local: only
+     [nodes.(d)] and shard-owned buffers are touched). *)
+  let deliver_dst eng s d =
+    let inb = eng.inbox.(d) in
+    let len = Dynbuf.length inb in
+    if len > 0 then begin
+      let acc = eng.accs.(s) in
+      let out = eng.out.(s) in
+      let count msg =
+        acc.messages <- acc.messages + 1;
+        acc.payload <- acc.payload + P.payload_weight msg;
+        acc.metadata <- acc.metadata + P.metadata_weight msg;
+        acc.payload_bytes <- acc.payload_bytes + P.payload_bytes msg;
+        acc.metadata_bytes <- acc.metadata_bytes + P.metadata_bytes msg
       in
-      List.iter
-        (fun (src, dst, msg) ->
-          let dropped = faults.drop > 0. && Random.State.float faults.rng 1. < faults.drop in
-          acc :=
-            {
-              !acc with
-              messages = !acc.messages + 1;
-              payload = !acc.payload + P.payload_weight msg;
-              metadata = !acc.metadata + P.metadata_weight msg;
-              payload_bytes = !acc.payload_bytes + P.payload_bytes msg;
-              metadata_bytes = !acc.metadata_bytes + P.metadata_bytes msg;
-            };
+      let handle ~src msg =
+        let node, replies = P.handle eng.nodes.(d) ~src msg in
+        eng.nodes.(d) <- node;
+        List.iter (fun (j, m) -> Dynbuf.push out (j, (d, m))) replies
+      in
+      if eng.faults_active then begin
+        let f = eng.faults in
+        let rng = eng.rngs.(d) in
+        if f.shuffle then Dynbuf.shuffle ~rng inb;
+        for k = 0 to len - 1 do
+          let src, msg = Dynbuf.get inb k in
+          count msg;
+          let dropped = f.drop > 0. && Random.State.float rng 1. < f.drop in
           if not dropped then begin
             let deliveries =
-              if
-                faults.duplicate > 0.
-                && Random.State.float faults.rng 1. < faults.duplicate
+              if f.duplicate > 0. && Random.State.float rng 1. < f.duplicate
               then 2
               else 1
             in
             for _ = 1 to deliveries do
-              let node, replies = P.handle nodes.(dst) ~src msg in
-              nodes.(dst) <- node;
-              push (List.map (fun (j, m) -> (dst, j, m)) replies)
+              handle ~src msg
             done
-          end)
-        batch
-    done;
-    !acc
+          end
+        done
+      end
+      else
+        (* Fault-free fast path: no PRNG, one delivery per message. *)
+        for k = 0 to len - 1 do
+          let src, msg = Dynbuf.get inb k in
+          count msg;
+          handle ~src msg
+        done;
+      Dynbuf.clear inb
+    end
 
-  let sync_round ~faults nodes (acc : Metrics.round) : Metrics.round =
-    let queue = ref [] in
-    Array.iteri
-      (fun i _ ->
-        let node, msgs = P.tick nodes.(i) in
-        nodes.(i) <- node;
-        queue := !queue @ List.map (fun (j, m) -> (i, j, m)) msgs)
-      nodes;
-    deliver ~faults nodes !queue acc
+  let deliver_shard eng s =
+    for d = lo eng s to hi eng s - 1 do
+      deliver_dst eng s d
+    done
+
+  (* One synchronization round: tick every node, then drain the network
+     wave by wave (each Pool.run is a barrier between waves). *)
+  let sync_round eng =
+    Pool.run eng.pool (tick_shard eng);
+    while route eng do
+      Pool.run eng.pool (deliver_shard eng)
+    done
+
+  (* Post-round memory snapshot (parallel per-shard sums) plus the fold
+     of all shard counters into the round record. *)
+  let finish_round eng ~ops_applied : Metrics.round =
+    Pool.run eng.pool (fun s ->
+        let acc = eng.accs.(s) in
+        let w = ref 0 and b = ref 0 and mb = ref 0 in
+        for i = lo eng s to hi eng s - 1 do
+          let n = eng.nodes.(i) in
+          w := !w + P.memory_weight n;
+          b := !b + P.memory_bytes n;
+          mb := !mb + P.metadata_memory_bytes n
+        done;
+        acc.memory_weight <- !w;
+        acc.memory_bytes <- !b;
+        acc.metadata_memory_bytes <- !mb);
+    let r =
+      Array.fold_left
+        (fun (r : Metrics.round) a ->
+          {
+            r with
+            messages = r.messages + a.messages;
+            payload = r.payload + a.payload;
+            metadata = r.metadata + a.metadata;
+            payload_bytes = r.payload_bytes + a.payload_bytes;
+            metadata_bytes = r.metadata_bytes + a.metadata_bytes;
+            memory_weight = r.memory_weight + a.memory_weight;
+            memory_bytes = r.memory_bytes + a.memory_bytes;
+            metadata_memory_bytes =
+              r.metadata_memory_bytes + a.metadata_memory_bytes;
+          })
+        { Metrics.empty_round with ops_applied }
+        eng.accs
+    in
+    Array.iter reset_acc eng.accs;
+    r
 
   let all_equal ~equal nodes =
     let first = P.state nodes.(0) in
@@ -130,42 +250,71 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
 
       [ops ~round ~node state] lists the operations node [node] performs
       at the start of [round] given its current local state (Retwis needs
-      the state to read follower sets).  [quiesce_limit] bounds the
-      post-measurement convergence phase. *)
-  let run ?(faults = no_faults) ?(quiesce_limit = 64) ~equal ~topology ~rounds
-      ~ops () =
+      the state to read follower sets); the ops phase always runs
+      sequentially on the calling domain because workload generators may
+      carry their own PRNG.  [quiesce_limit] bounds the post-measurement
+      convergence phase.  [domains] sets the pool width; any value
+      produces bit-identical results for a fixed fault seed. *)
+  let run ?(faults = no_faults) ?(quiesce_limit = 64) ?(domains = 1) ~equal
+      ~topology ~rounds ~ops () =
+    if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
     let n = Topology.size topology in
     let nodes =
       Array.init n (fun i ->
           P.init ~id:i ~neighbors:(Topology.neighbors topology i) ~total:n)
     in
-    let measured =
-      Array.init rounds (fun round ->
-          Array.iteri
-            (fun i _ ->
-              List.iter
-                (fun op -> nodes.(i) <- P.local_update nodes.(i) op)
-                (ops ~round ~node:i (P.state nodes.(i))))
+    Pool.with_pool domains (fun pool ->
+        let faults_active =
+          faults.duplicate > 0. || faults.drop > 0. || faults.shuffle
+        in
+        let shards = Pool.size pool in
+        let eng =
+          {
+            n;
+            shards;
             nodes;
-          let acc = sync_round ~faults nodes Metrics.empty_round in
-          snapshot nodes acc)
-    in
-    (* Quiescent phase: keep synchronizing without new operations until
-       all replicas agree (or the bound is hit). *)
-    let quiesce = ref [] in
-    let steps = ref 0 in
-    while (not (all_equal ~equal nodes)) && !steps < quiesce_limit do
-      incr steps;
-      let acc = sync_round ~faults nodes Metrics.empty_round in
-      quiesce := snapshot nodes acc :: !quiesce
-    done;
-    {
-      rounds = measured;
-      quiesce_rounds = Array.of_list (List.rev !quiesce);
-      finals = Array.map P.state nodes;
-      work = Array.map P.work nodes;
-      converged = all_equal ~equal nodes;
-    }
+            pool;
+            faults;
+            faults_active;
+            rngs =
+              (if faults_active then
+                 Array.init n (fun d -> Random.State.make [| faults.seed; d |])
+               else [||]);
+            inbox = Array.init n (fun _ -> Dynbuf.create ());
+            out = Array.init shards (fun _ -> Dynbuf.create ());
+            accs = Array.init shards (fun _ -> make_acc ());
+          }
+        in
+        let measured =
+          Array.init rounds (fun round ->
+              let applied = ref 0 in
+              Array.iteri
+                (fun i _ ->
+                  List.iter
+                    (fun op ->
+                      nodes.(i) <- P.local_update nodes.(i) op;
+                      incr applied)
+                    (ops ~round ~node:i (P.state nodes.(i))))
+                nodes;
+              sync_round eng;
+              finish_round eng ~ops_applied:!applied)
+        in
+        (* Quiescent phase: keep synchronizing without new operations
+           until all replicas agree (or the bound is hit). *)
+        let quiesce = ref [] in
+        let steps = ref 0 in
+        while (not (all_equal ~equal nodes)) && !steps < quiesce_limit do
+          incr steps;
+          sync_round eng;
+          quiesce := finish_round eng ~ops_applied:0 :: !quiesce
+        done;
+        {
+          rounds = measured;
+          quiesce_rounds = Array.of_list (List.rev !quiesce);
+          finals = Array.map P.state nodes;
+          work = Array.map P.work nodes;
+          converged = all_equal ~equal nodes;
+        })
 
   (** Summary over the measured rounds only. *)
   let summary r = Metrics.summarize r.rounds

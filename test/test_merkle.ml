@@ -100,7 +100,7 @@ let convergence =
             R.no_faults with
             duplicate = 0.3;
             shuffle = true;
-            rng = Random.State.make [| 77 |];
+            seed = 77;
           }
         in
         let res =

@@ -7,7 +7,7 @@ let check_int = Alcotest.(check int)
 
 let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     ?(metadata_bytes = 0) ?(memory_weight = 0) ?(memory_bytes = 0)
-    ?(metadata_memory_bytes = 0) () : Metrics.round =
+    ?(metadata_memory_bytes = 0) ?(ops_applied = 0) () : Metrics.round =
   {
     messages;
     payload;
@@ -17,6 +17,7 @@ let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     memory_weight;
     memory_bytes;
     metadata_memory_bytes;
+    ops_applied;
   }
 
 let tests =
@@ -51,6 +52,19 @@ let tests =
         check "75%" true (Metrics.metadata_fraction s = 0.75));
     Alcotest.test_case "metadata fraction of silence is 0" `Quick (fun () ->
         check "zero" true (Metrics.metadata_fraction (Metrics.summarize [||]) = 0.));
+    Alcotest.test_case "ops totals and throughput" `Quick (fun () ->
+        let s =
+          Metrics.summarize
+            [|
+              round ~messages:10 ~ops_applied:4 ();
+              round ~messages:20 ~ops_applied:6 ();
+            |]
+        in
+        check_int "total ops" 10 s.total_ops;
+        check "ops/sec" true (Metrics.ops_per_sec s ~seconds:2. = 5.);
+        check "msgs/sec" true (Metrics.msgs_per_sec s ~seconds:2. = 15.);
+        check "nan on zero interval" true
+          (Float.is_nan (Metrics.ops_per_sec s ~seconds:0.)));
     Alcotest.test_case "ratios" `Quick (fun () ->
         check "ratio" true (Metrics.ratio ~baseline:10 25 = 2.5);
         check "nan on zero baseline" true

@@ -374,7 +374,7 @@ let fault_tests =
             F_bprr.no_faults with
             duplicate = 0.3;
             shuffle = true;
-            rng = Random.State.make [| 11 |];
+            seed = 11;
           }
         in
         let res =
@@ -391,7 +391,7 @@ let fault_tests =
             F_sb.no_faults with
             duplicate = 0.3;
             shuffle = true;
-            rng = Random.State.make [| 12 |];
+            seed = 12;
           }
         in
         let res =
@@ -407,7 +407,7 @@ let fault_tests =
             F_op.no_faults with
             duplicate = 0.25;
             shuffle = true;
-            rng = Random.State.make [| 13 |];
+            seed = 13;
           }
         in
         let res =
@@ -419,7 +419,7 @@ let fault_tests =
     Alcotest.test_case "state-based tolerates message loss" `Quick (fun () ->
         let topo = Topology.partial_mesh 6 in
         let faults =
-          { F_state.no_faults with drop = 0.3; rng = Random.State.make [| 14 |] }
+          { F_state.no_faults with drop = 0.3; seed = 14 }
         in
         let res =
           F_state.run ~faults ~equal:Si.equal ~topology:topo ~rounds:10
@@ -430,7 +430,7 @@ let fault_tests =
       `Quick (fun () ->
         let topo = Topology.ring 6 in
         let faults =
-          { F_sb.no_faults with drop = 0.25; rng = Random.State.make [| 21 |] }
+          { F_sb.no_faults with drop = 0.25; seed = 21 }
         in
         let res =
           F_sb.run ~faults ~equal:Si.equal ~topology:topo ~rounds:10
@@ -443,7 +443,7 @@ let fault_tests =
           Runner.Make (Merkle_sync.Make (Si) (Merkle_sync.Default_config)) in
         let topo = Topology.ring 6 in
         let faults =
-          { Fm.no_faults with drop = 0.25; rng = Random.State.make [| 22 |] }
+          { Fm.no_faults with drop = 0.25; seed = 22 }
         in
         let res =
           Fm.run ~faults ~equal:Si.equal ~topology:topo ~rounds:10
@@ -454,7 +454,7 @@ let fault_tests =
       `Quick (fun () ->
         let topo = Topology.partial_mesh 6 in
         let faults =
-          { F_ack.no_faults with drop = 0.3; rng = Random.State.make [| 15 |] }
+          { F_ack.no_faults with drop = 0.3; seed = 15 }
         in
         let res =
           F_ack.run ~faults ~equal:Si.equal ~topology:topo ~rounds:10

@@ -71,7 +71,7 @@ struct
         R.no_faults with
         duplicate = f.dup;
         shuffle = f.shuffle;
-        rng = Random.State.make [| 42 |];
+        seed = 42;
       }
     in
     let res =
@@ -122,7 +122,7 @@ struct
         R.no_faults with
         duplicate = f.dup;
         shuffle = f.shuffle;
-        rng = Random.State.make [| 43 |];
+        seed = 43;
       }
     in
     let res =

@@ -63,7 +63,7 @@ let runner_tests =
               R.no_faults with
               duplicate = 0.4;
               shuffle = true;
-              rng = Random.State.make [| 123 |];
+              seed = 123;
             }
           in
           let res =
@@ -86,7 +86,7 @@ let runner_tests =
           {
             R.no_faults with
             duplicate = 0.9;
-            rng = Random.State.make [| 5 |];
+            seed = 5;
           }
         in
         let dup =
