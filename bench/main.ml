@@ -14,14 +14,15 @@
 let all_ids =
   [
     "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
-    "ablation"; "cpu"; "delta"; "sim_scale";
+    "ablation"; "cpu"; "delta"; "sim_scale"; "fault_matrix";
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [--quick|--paper] [--json] [%s ...]\n(fig11 also prints \
-     Fig 12; no ids = run everything; --json makes `delta` / `sim_scale` \
-     write BENCH_delta_kernels.json / BENCH_sim_scale.json)\n"
+     Fig 12; no ids = run everything; --json makes `delta` / `sim_scale` / \
+     `fault_matrix` write BENCH_delta_kernels.json / BENCH_sim_scale.json / \
+     BENCH_fault_matrix.json)\n"
     (String.concat "|" all_ids)
 
 let () =
@@ -72,6 +73,10 @@ let () =
         | "sim_scale" ->
             Sim_scale.run ~quick
               ?json_path:(if json then Some "BENCH_sim_scale.json" else None)
+              ()
+        | "fault_matrix" ->
+            Fault_matrix.run ~quick
+              ?json_path:(if json then Some "BENCH_fault_matrix.json" else None)
               ()
         | _ -> assert false)
       ids;

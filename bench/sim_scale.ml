@@ -494,7 +494,22 @@ let print_rows rows =
          ])
        rows)
 
-let write_json path ~scale rows =
+(* A non-converged run measured a broken synchronization, not the
+   engine: its throughput/speedup figures would poison the cross-PR
+   trajectory, so such rows are refused rather than recorded. *)
+let write_json path ~scale all_rows =
+  let rows, rejected =
+    List.partition (fun r -> r.converged) all_rows
+  in
+  if rejected <> [] then
+    Report.note
+      "refusing to record %d non-converged row(s) in %s: %s"
+      (List.length rejected) path
+      (String.concat ", "
+         (List.map
+            (fun r ->
+              Printf.sprintf "%s/%s/%s n=%d" r.crdt r.topo r.protocol r.nodes)
+            rejected));
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"sim_scale\",\n  \"schema\": 1,\n";

@@ -8,8 +8,13 @@
    Examples:
      crdtsync micro --crdt gset --topology mesh --nodes 15 --rounds 100
      crdtsync micro --crdt gmap --k 60 --topology tree
+     crdtsync micro --drop 0.2 --crash 3:10:30 --partition '20:60:0,1,2'
      crdtsync retwis --zipf 1.25 --users 1000 --nodes 16 --rounds 40
-     crdtsync topo --topology mesh --nodes 15 *)
+     crdtsync topo --topology mesh --nodes 15
+
+   Fault flags build a Crdt_sim.Fault.plan; protocols whose declared
+   capabilities do not cover the plan are skipped (micro) or rejected
+   (retwis).  Any non-converged run exits with status 1. *)
 
 open Cmdliner
 open Crdt_core
@@ -50,68 +55,231 @@ let domains_arg =
           "Worker domains for the simulation engine (1 = sequential). Any \
            value yields bit-identical results; speedups need as many cores.")
 
+(* -- fault flags (micro and retwis) ------------------------------------- *)
+
+let parse_ints ~what s =
+  List.map
+    (fun tok ->
+      match int_of_string_opt (String.trim tok) with
+      | Some i -> i
+      | None -> invalid_arg (Printf.sprintf "bad %s spec %S" what s))
+    (String.split_on_char ':' s)
+
+(* "VICTIM:AT:REC" *)
+let parse_crash s =
+  match parse_ints ~what:"--crash" s with
+  | [ victim; crash_round; recover_round ] ->
+      Fault.crash ~victim ~crash_round ~recover_round
+  | _ -> invalid_arg (Printf.sprintf "--crash wants VICTIM:AT:REC, got %S" s)
+
+(* "SRC:DST:HOLD" *)
+let parse_delay s =
+  match parse_ints ~what:"--delay-link" s with
+  | [ src; dst; hold ] -> Fault.delay ~src ~dst ~hold
+  | _ ->
+      invalid_arg (Printf.sprintf "--delay-link wants SRC:DST:HOLD, got %S" s)
+
+(* "FROM:HEAL:a,b/c,d" — islands are '/'-separated id groups; nodes not
+   listed form the residual island. *)
+let parse_partition s =
+  match String.split_on_char ':' s with
+  | [ from_s; heal_s; islands_s ] ->
+      let int ~what s =
+        match int_of_string_opt (String.trim s) with
+        | Some i -> i
+        | None -> invalid_arg (Printf.sprintf "bad %s in %S" what s)
+      in
+      let islands =
+        String.split_on_char '/' islands_s
+        |> List.map (fun grp ->
+               String.split_on_char ',' grp
+               |> List.filter (fun t -> String.trim t <> "")
+               |> List.map (int ~what:"island node"))
+      in
+      Fault.partition ~from_round:(int ~what:"from-round" from_s)
+        ~heal_round:(int ~what:"heal-round" heal_s)
+        islands
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "--partition wants FROM:HEAL:a,b/c,d, got %S" s)
+
+let fault_term =
+  let drop =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop" ] ~docv:"P" ~doc:"Per-message drop probability.")
+  in
+  let duplicate =
+    Arg.(
+      value & opt float 0.
+      & info [ "duplicate" ] ~docv:"P"
+          ~doc:"Per-message duplication probability.")
+  in
+  let shuffle =
+    Arg.(
+      value & flag
+      & info [ "shuffle" ]
+          ~doc:"Randomize per-destination delivery order each round.")
+  in
+  let partitions =
+    Arg.(
+      value & opt_all string []
+      & info [ "partition" ] ~docv:"FROM:HEAL:a,b/c,d"
+          ~doc:
+            "Cut the listed islands off from the rest during rounds \
+             [FROM, HEAL); repeatable.  Unlisted nodes form the residual \
+             island.")
+  in
+  let delays =
+    Arg.(
+      value & opt_all string []
+      & info [ "delay-link" ] ~docv:"SRC:DST:HOLD"
+          ~doc:"Hold messages on the SRC→DST link for HOLD rounds; repeatable.")
+  in
+  let crashes =
+    Arg.(
+      value & opt_all string []
+      & info [ "crash" ] ~docv:"VICTIM:AT:REC"
+          ~doc:
+            "Crash node VICTIM at round AT (volatile protocol state lost, \
+             durable CRDT state kept) and restart it at round REC; \
+             repeatable.")
+  in
+  let seed =
+    Arg.(
+      value & opt int Fault.none.Fault.seed
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the per-destination fault streams.")
+  in
+  let build drop duplicate shuffle partitions delays crashes seed =
+    {
+      Fault.drop;
+      duplicate;
+      shuffle;
+      partitions = List.map parse_partition partitions;
+      delays = List.map parse_delay delays;
+      crashes = List.map parse_crash crashes;
+      seed;
+    }
+  in
+  Term.(
+    const build $ drop $ duplicate $ shuffle $ partitions $ delays $ crashes
+    $ seed)
+
 (* -- micro -------------------------------------------------------------- *)
 
 let print_outcomes outcomes =
   let baseline =
-    List.find
-      (fun (o : Harness.outcome) -> o.protocol = "delta-bp+rr")
-      outcomes
+    let find name =
+      List.find_opt (fun (o : Harness.outcome) -> o.protocol = name) outcomes
+    in
+    match (find "delta-bp+rr", find "delta-bp+rr-ack", outcomes) with
+    | Some o, _, _ | None, Some o, _ | None, None, o :: _ -> o
+    | None, None, [] -> invalid_arg "no protocol selected"
   in
   let base = Metrics.total_transmission baseline.summary in
-  Printf.printf "%-15s %14s %8s %14s %12s\n" "protocol" "tx (elements)"
+  Printf.printf "%-17s %14s %8s %14s %12s\n" "protocol" "tx (elements)"
     "ratio" "avg mem (elt)" "work units";
   List.iter
     (fun (o : Harness.outcome) ->
       let tx = Metrics.total_transmission o.summary in
-      Printf.printf "%-15s %14d %8.2f %14.0f %12d%s\n" o.protocol tx
+      Printf.printf "%-17s %14d %8.2f %14.0f %12d%s\n" o.protocol tx
         (float_of_int tx /. float_of_int base)
         o.full.Metrics.avg_memory_weight o.work
         (if o.converged then "" else "  NOT CONVERGED"))
     outcomes
 
-let run_micro crdt topology nodes rounds k domains =
+(* A run that fails to converge is a correctness red flag, not a footnote:
+   banner it and make the process exit non-zero so scripts notice. *)
+let convergence_verdict outcomes =
+  let stragglers =
+    List.filter_map
+      (fun (o : Harness.outcome) ->
+        if o.converged then None else Some o.protocol)
+      outcomes
+  in
+  match stragglers with
+  | [] -> 0
+  | names ->
+      Printf.printf
+        "\n*** NOT CONVERGED: %s — replicas still diverge after the \
+         quiescence limit; results above are not comparable. ***\n"
+        (String.concat ", " names);
+      1
+
+let report_skipped = function
+  | [] -> ()
+  | names ->
+      Printf.printf "skipping (no declared fault tolerance): %s\n\n"
+        (String.concat ", " names)
+
+let run_micro crdt topology nodes rounds k domains faults =
   let topo = make_topology topology nodes in
   Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
     rounds;
-  (match crdt with
-  | "gset" ->
-      let module H = Harness.Make (Gset.Of_int) in
-      print_outcomes
-        (H.run ~domains ~topology:topo ~rounds
-           ~ops:(fun ~round ~node state ->
-             Workload.gset ~nodes ~round ~node state)
-           ())
-  | "gcounter" ->
-      let module H = Harness.Make (Gcounter) in
-      print_outcomes
-        (H.run ~domains ~topology:topo ~rounds
-           ~ops:(fun ~round ~node state -> Workload.gcounter ~round ~node state)
-           ())
-  | "gmap" ->
-      let module H = Harness.Make (Gmap.Versioned) in
-      print_outcomes
-        (H.run ~domains ~topology:topo ~rounds
-           ~ops:(fun ~round ~node state ->
-             Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
-           ())
-  | "orset" ->
-      let module H = Harness.Make (Aw_set.Of_int) in
-      (* unique adds plus an observed-remove every third round; op-based
-         is excluded because Remove reads the local state. *)
-      let selection = { Harness.all_protocols with op_based = false } in
-      print_outcomes
-        (H.run ~selection ~domains ~topology:topo ~rounds
-           ~ops:(fun ~round ~node state ->
-             let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
-             if round mod 3 = 0 && node = 0 then
-               match Aw_set.Of_int.value state with
-               | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
-               | [] -> [ add ]
-             else [ add ])
-           ())
-  | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other));
-  0
+  (* Under an active fault plan the ack-mode δ-buffer joins the lineup:
+     it is the delta variant built for lossy channels. *)
+  let base_selection extra =
+    { extra with Harness.delta_ack = Fault.active faults }
+  in
+  try
+    let outcomes =
+      match crdt with
+      | "gset" ->
+          let module H = Harness.Make (Gset.Of_int) in
+          let selection, skipped =
+            H.mask_unsupported faults (base_selection Harness.all_protocols)
+          in
+          report_skipped skipped;
+          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+            ~ops:(fun ~round ~node state ->
+              Workload.gset ~nodes ~round ~node state)
+            ()
+      | "gcounter" ->
+          let module H = Harness.Make (Gcounter) in
+          let selection, skipped =
+            H.mask_unsupported faults (base_selection Harness.all_protocols)
+          in
+          report_skipped skipped;
+          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+            ~ops:(fun ~round ~node state ->
+              Workload.gcounter ~round ~node state)
+            ()
+      | "gmap" ->
+          let module H = Harness.Make (Gmap.Versioned) in
+          let selection, skipped =
+            H.mask_unsupported faults (base_selection Harness.all_protocols)
+          in
+          report_skipped skipped;
+          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+            ~ops:(fun ~round ~node state ->
+              Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
+            ()
+      | "orset" ->
+          let module H = Harness.Make (Aw_set.Of_int) in
+          (* unique adds plus an observed-remove every third round; op-based
+             is excluded because Remove reads the local state. *)
+          let selection, skipped =
+            H.mask_unsupported faults
+              (base_selection { Harness.all_protocols with op_based = false })
+          in
+          report_skipped skipped;
+          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+            ~ops:(fun ~round ~node state ->
+              let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
+              if round mod 3 = 0 && node = 0 then
+                match Aw_set.Of_int.value state with
+                | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
+                | [] -> [ add ]
+              else [ add ])
+            ()
+      | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other)
+    in
+    print_outcomes outcomes;
+    convergence_verdict outcomes
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
 
 let micro_cmd =
   let crdt =
@@ -130,11 +298,11 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
     Term.(
       const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k
-      $ domains_arg)
+      $ domains_arg $ fault_term)
 
 (* -- retwis ------------------------------------------------------------- *)
 
-let run_retwis zipf users topology nodes rounds domains =
+let run_retwis zipf users topology nodes rounds domains faults =
   let topo = make_topology topology nodes in
   Printf.printf
     "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\n" users
@@ -145,32 +313,51 @@ let run_retwis zipf users topology nodes rounds domains =
     Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Bp_rr_config) in
   let module Rc = Runner.Make (Classic) in
   let module Rb = Runner.Make (BpRr) in
-  let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
-  let w1 = wl () in
-  let rc =
-    Rc.run ~domains ~equal:Classic.equal_states ~topology:topo ~rounds
-      ~ops:(fun ~round ~node state ->
-        Crdt_retwis.Workload.ops_sharded w1 ~round ~node state)
-      ()
-  in
-  let w2 = wl () in
-  let rb =
-    Rb.run ~domains ~equal:BpRr.equal_states ~topology:topo ~rounds
-      ~ops:(fun ~round ~node state ->
-        Crdt_retwis.Workload.ops_sharded w2 ~round ~node state)
-      ()
-  in
-  let row name (s : Metrics.summary) work converged =
-    Printf.printf "%-14s tx=%9d bytes   mem/node=%9.0f bytes   work=%9d%s\n"
-      name
-      (Metrics.total_transmission_bytes s)
-      (s.Metrics.avg_memory_bytes /. float_of_int nodes)
-      work
-      (if converged then "" else "  NOT CONVERGED")
-  in
-  row "delta-classic" (Rc.summary rc) (Rc.total_work rc) rc.Rc.converged;
-  row "delta-bp+rr" (Rb.summary rb) (Rb.total_work rb) rb.Rb.converged;
-  0
+  try
+    let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
+    let w1 = wl () in
+    let rc =
+      Rc.run ~faults ~domains ~equal:Classic.equal_states ~topology:topo
+        ~rounds
+        ~ops:(fun ~round ~node state ->
+          Crdt_retwis.Workload.ops_sharded w1 ~round ~node state)
+        ()
+    in
+    let w2 = wl () in
+    let rb =
+      Rb.run ~faults ~domains ~equal:BpRr.equal_states ~topology:topo ~rounds
+        ~ops:(fun ~round ~node state ->
+          Crdt_retwis.Workload.ops_sharded w2 ~round ~node state)
+        ()
+    in
+    let row name (s : Metrics.summary) work converged =
+      Printf.printf "%-14s tx=%9d bytes   mem/node=%9.0f bytes   work=%9d%s\n"
+        name
+        (Metrics.total_transmission_bytes s)
+        (s.Metrics.avg_memory_bytes /. float_of_int nodes)
+        work
+        (if converged then "" else "  NOT CONVERGED")
+    in
+    row "delta-classic" (Rc.summary rc) (Rc.total_work rc) rc.Rc.converged;
+    row "delta-bp+rr" (Rb.summary rb) (Rb.total_work rb) rb.Rb.converged;
+    let stragglers =
+      List.filter_map
+        (fun (name, converged) -> if converged then None else Some name)
+        [
+          ("delta-classic", rc.Rc.converged); ("delta-bp+rr", rb.Rb.converged);
+        ]
+    in
+    match stragglers with
+    | [] -> 0
+    | names ->
+        Printf.printf
+          "\n*** NOT CONVERGED: %s — replicas still diverge after the \
+           quiescence limit; results above are not comparable. ***\n"
+          (String.concat ", " names);
+        1
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
 
 let retwis_cmd =
   let zipf =
@@ -188,7 +375,7 @@ let retwis_cmd =
        ~doc:"Run the Retwis application benchmark (classic vs BP+RR)")
     Term.(
       const run_retwis $ zipf $ users $ topology_arg $ nodes_arg $ rounds_arg
-      $ domains_arg)
+      $ domains_arg $ fault_term)
 
 (* -- partition ---------------------------------------------------------- *)
 

@@ -23,6 +23,30 @@
     lossy channels ([ack_mode]): buffer entries carry sequence numbers and
     are only evicted once every neighbor acknowledged them.
 
+    {b Crash–recovery.}  The δ-buffer, per-origin groups, sequence
+    counters and ack vector are volatile; only the CRDT state [xᵢ] is
+    durable.  A restarted replica therefore cannot replay lost buffer
+    entries — in ack mode the unacked entries themselves are gone — but
+    everything they carried is, by construction, below the durable [xᵢ].
+    [recover] runs the state-driven reconciliation of the companion
+    partition work ([Partition_sync]) against each neighbor: the node
+    keeps a [need_sync] set and sends a [SyncReq] carrying its full
+    durable state on every tick until the neighbor answers.  The
+    neighbor absorbs the request like a received δ-group (so the
+    restarted node's unacked data re-enters {e its} buffer and
+    propagates onward, rebuilding the per-origin δ-groups) and always
+    replies [SyncResp Δ(xⱼ, received)] — the optimal delta covering
+    every message the victim missed while down; an empty Δ still flows
+    back as the up-to-date marker.  Retrying the request until answered
+    makes the exchange safe under loss, so crash tolerance holds in
+    every configuration; drop/partition tolerance additionally needs
+    the ack machinery for ordinary traffic, hence is declared by
+    [ack_mode] only.  One guard closes the stale-incarnation hole: an
+    [Ack] whose sequence number exceeds [next_seq] can only refer to a
+    pre-crash incarnation (sequence numbers restart at 0) and is
+    ignored, otherwise a delayed old ack could evict fresh unacked
+    entries.
+
     {b Buffer representation.}  In the common (non-ack) mode the δ-buffer
     is {e not} a list of entries: it is one joined δ-group per origin
     (maintained only under BP, which is the sole consumer of origin
@@ -55,11 +79,14 @@ let rr_only = { bp = false; rr = true; ack_mode = false }
 let bp_rr = { bp = true; rr = true; ack_mode = false }
 
 let config_name c =
-  match (c.bp, c.rr) with
-  | false, false -> "delta-classic"
-  | true, false -> "delta-bp"
-  | false, true -> "delta-rr"
-  | true, true -> "delta-bp+rr"
+  let base =
+    match (c.bp, c.rr) with
+    | false, false -> "delta-classic"
+    | true, false -> "delta-bp"
+    | false, true -> "delta-rr"
+    | true, true -> "delta-bp+rr"
+  in
+  if c.ack_mode then base ^ "-ack" else base
 
 module type CONFIG = sig
   val config : config
@@ -68,6 +95,7 @@ end
 module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
   module Origins = Map.Make (Int)
+  module Iset = Set.Make (Int)
 
   type crdt = C.t
   type op = C.op
@@ -93,6 +121,9 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     entries : entry list;  (** [Bᵢ] in ack mode only, newest first. *)
     next_seq : int;
     acked : Vclock.t;  (** ack mode: highest seq acked per neighbor. *)
+    need_sync : Iset.t;
+        (** neighbors still owing a [SyncResp] after a restart; a
+            [SyncReq] is (re)sent to each on every tick. *)
     work : int;
   }
 
@@ -101,9 +132,24 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
         (** [weight]/[bytes] cache [C.weight group]/[C.byte_size group],
             computed once at send time. *)
     | Ack of { seq : int }
+    | SyncReq of { state : C.t; weight : int; bytes : int }
+        (** crash recovery: the restarted replica's full durable state. *)
+    | SyncResp of { group : C.t; weight : int; bytes : int }
+        (** crash recovery: [Δ(xⱼ, received)], possibly bottom. *)
 
   let protocol_name = config_name Cfg.config
   let cfg = Cfg.config
+
+  (* Ordinary traffic survives loss and cuts only with the ack-based
+     retransmission machinery; delay loses nothing, and crash recovery
+     has its own retried SyncReq/SyncResp exchange (see above). *)
+  let capabilities =
+    {
+      Protocol_intf.tolerates_drop = cfg.ack_mode;
+      tolerates_partition = cfg.ack_mode;
+      tolerates_delay = true;
+      tolerates_crash = true;
+    }
 
   let init ~id ~neighbors ~total:_ =
     {
@@ -116,8 +162,25 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       entries = [];
       next_seq = 0;
       acked = Vclock.empty;
+      need_sync = Iset.empty;
       work = 0;
     }
+
+  (* Durable: [x].  Volatile: the δ-buffer in all its representations,
+     the sequence counter and the ack vector (a fresh incarnation
+     restarts numbering at 0). *)
+  let crash n =
+    {
+      n with
+      groups = Origins.empty;
+      pending = C.bottom;
+      entries = [];
+      next_seq = 0;
+      acked = Vclock.empty;
+      need_sync = Iset.empty;
+    }
+
+  let recover n = { n with need_sync = Iset.of_list n.neighbors }
 
   (* fun store(s, o) — lines 18-20: join into the local state and into
      the origin's δ-group (non-ack), or cons a seq-tagged entry (ack).
@@ -181,7 +244,24 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   let mk_delta group seq =
     Delta { group; seq; weight = C.weight group; bytes = C.byte_size group }
 
+  let mk_syncreq x =
+    SyncReq { state = x; weight = C.weight x; bytes = C.byte_size x }
+
+  let mk_syncresp g =
+    SyncResp { group = g; weight = C.weight g; bytes = C.byte_size g }
+
   let tick n =
+    (* Recovery first: keep requesting reconciliation from every
+       neighbor that has not answered yet (retried until the response
+       arrives, which makes the exchange loss-safe). *)
+    let sync_msgs =
+      if Iset.is_empty n.need_sync then []
+      else
+        let req = mk_syncreq n.x in
+        List.filter_map
+          (fun j -> if Iset.mem j n.need_sync then Some (j, req) else None)
+          n.neighbors
+    in
     let msgs =
       if cfg.ack_mode then
         List.filter_map
@@ -206,10 +286,13 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
             | None -> Some (j, all))
           n.neighbors
     in
+    let msgs = sync_msgs @ msgs in
     let cost =
       List.fold_left
         (fun acc (_, m) ->
-          match m with Delta { weight; _ } -> acc + weight | Ack _ -> acc)
+          match m with
+          | Delta { weight; _ } | SyncReq { weight; _ } -> acc + weight
+          | Ack _ | SyncResp _ -> acc)
         0 msgs
     in
     let n =
@@ -231,32 +314,56 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     in
     ({ n with work = n.work + cost }, msgs)
 
+  (* Absorb a received δ-group/state according to the configuration:
+     RR extracts Δ(d, xᵢ), classic stores d whole iff d ⋢ xᵢ.  Stored
+     with [src] as origin, so it re-enters the buffer and propagates. *)
+  let absorb n ~src d =
+    if cfg.rr then begin
+      let extracted = C.delta d n.x in
+      if C.is_bottom extracted then n else store n extracted src
+    end
+    else if C.leq d n.x then n
+    else store n d src
+
   let handle n ~src d =
     match d with
     | Ack { seq } ->
-        let acked = Vclock.set src (max seq (Vclock.get src n.acked)) n.acked in
-        ({ n with acked }, [])
+        (* A seq we never issued can only come from a pre-crash
+           incarnation of this replica (numbering restarted at 0):
+           honoring it would evict fresh unacked entries. *)
+        if seq > n.next_seq then (n, [])
+        else
+          let acked =
+            Vclock.set src (max seq (Vclock.get src n.acked)) n.acked
+          in
+          ({ n with acked }, [])
     | Delta { group = d; seq; weight; bytes = _ } ->
         let ack = if cfg.ack_mode then [ (src, Ack { seq }) ] else [] in
-        if cfg.rr then begin
-          (* d = Δ(d, xᵢ); if d ≠ ⊥ then store(d, src) — the structural
-             delta walks the received group against the local state
-             without decomposing it into singletons. *)
-          let extracted = C.delta d n.x in
-          let n = { n with work = n.work + weight } in
-          if C.is_bottom extracted then (n, ack)
-          else (store n extracted src, ack)
-        end
-        else begin
-          (* classic: if d ⋢ xᵢ then store(d, src). *)
-          let n = { n with work = n.work + weight } in
-          if C.leq d n.x then (n, ack) else (store n d src, ack)
-        end
+        let n = { n with work = n.work + weight } in
+        (absorb n ~src d, ack)
+    | SyncReq { state = s; weight; bytes = _ } ->
+        (* State-driven reconciliation leg 2: compute what the restarted
+           replica is missing before absorbing its state, and always
+           answer — an empty Δ is the up-to-date marker that clears the
+           requester's need_sync entry. *)
+        let missing = C.delta n.x s in
+        let n = { n with work = n.work + weight } in
+        (absorb n ~src s, [ (src, mk_syncresp missing) ])
+    | SyncResp { group = g; weight; bytes = _ } ->
+        let n =
+          {
+            n with
+            need_sync = Iset.remove src n.need_sync;
+            work = n.work + weight;
+          }
+        in
+        if C.is_bottom g then (n, []) else (absorb n ~src g, [])
 
   let state n = n.x
 
   let payload_weight = function
-    | Delta { weight; _ } -> weight
+    | Delta { weight; _ } | SyncReq { weight; _ } | SyncResp { weight; _ } ->
+        weight
     | Ack _ -> 0
 
   (* Classic tags nothing; BP/ack tag each message with one sequence
@@ -266,14 +373,17 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   let metadata_weight = function
     | Delta _ -> if tagged then 1 else 0
     | Ack _ -> 1
+    | SyncReq _ | SyncResp _ -> 1 (* recovery marker. *)
 
   let payload_bytes = function
-    | Delta { bytes; _ } -> bytes
+    | Delta { bytes; _ } | SyncReq { bytes; _ } | SyncResp { bytes; _ } ->
+        bytes
     | Ack _ -> 0
 
   let metadata_bytes = function
     | Delta _ -> if tagged then 8 else 0
     | Ack _ -> 8
+    | SyncReq _ | SyncResp _ -> 8
 
   (* The buffer [Bᵢ]: seq-tagged entries (ack), per-origin groups (BP),
      or the single joined pending group (classic/RR, where origins are

@@ -54,6 +54,21 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
 
   let protocol_name = "merkle"
 
+  (* Anti-entropy restarts from the root digest every tick, so any
+     message lost to drops, cuts or downtime only costs extra rounds;
+     the digest tree is a cache of the durable state and is simply
+     dropped on crash and rebuilt on demand. *)
+  let capabilities =
+    {
+      Protocol_intf.tolerates_drop = true;
+      tolerates_partition = true;
+      tolerates_delay = true;
+      tolerates_crash = true;
+    }
+
+  let crash n = { n with cache = None }
+  let recover n = n
+
   let init ~id ~neighbors ~total:_ =
     {
       id = Crdt_core.Replica_id.of_int id;

@@ -55,6 +55,29 @@ module Make (C : Protocol_intf.CRDT) :
 
   let protocol_name = "op-based"
 
+  (* [tick] optimistically marks forwarded operations as seen, assuming
+     reliable channels, so a dropped or partition-cut batch is never
+     retransmitted: no drop/partition tolerance.  Delay is fine — a held
+     batch arrives intact and the causal buffer reorders it.  Crash is
+     not tolerated either: the store-and-forward custody buffers are
+     volatile, and an operation relayed through the victim that peers
+     already marked as seen is lost for every replica behind it. *)
+  let capabilities =
+    {
+      Protocol_intf.tolerates_drop = false;
+      tolerates_partition = false;
+      tolerates_delay = true;
+      tolerates_crash = false;
+    }
+
+  (* Durable: the CRDT state together with the delivered-clock — they
+     are checkpointed as one unit, because a clock regression would let
+     an already-applied operation be redelivered and double-applied
+     through a non-idempotent mutator.  Volatile: the causal-delivery
+     and custody buffers. *)
+  let crash n = { n with pending = Opmap.empty; tbuf = Opmap.empty }
+  let recover n = n
+
   let init ~id ~neighbors ~total:_ =
     {
       id = Crdt_core.Replica_id.of_int id;

@@ -88,4 +88,14 @@ module Make (C : Lattice_intf.DECOMPOSABLE) = struct
   let bidirectional a b =
     let joined = C.join a b in
     (joined, joined, { messages = 2; bytes = C.byte_size a + C.byte_size b })
+
+  (** Crash recovery as pairwise reconciliation: a replica restarting
+      from its durable image [durable] catches up with a live [peer]
+      through the state-driven exchange — it ships the durable state, the
+      peer joins it and answers with the optimal delta
+      [Δ(peer, durable)] covering everything missed while down.  Returns
+      [(restarted', peer', stats)] with both sides at [durable ⊔ peer];
+      this is exactly the exchange [Delta_sync] runs per neighbor after
+      {!Crdt_proto.Protocol_intf.PROTOCOL.recover}. *)
+  let recover_crashed ~durable ~peer = state_driven durable peer
 end

@@ -13,12 +13,36 @@
     Messages may be duplicated or reordered by the driver: every protocol
     here tolerates both (state-based and delta-based by idempotent joins,
     Scuttlebutt by versioned pairs, op-based by per-operation identifiers).
+    Harsher fault classes — message loss, link partitions, per-link delay
+    and node crash–restart — are {e declared capabilities}
+    ({!PROTOCOL.capabilities}): a driver injecting a fault class must
+    check the protocol tolerates it (the simulator rejects the plan up
+    front otherwise), and every protocol implements the
+    {!PROTOCOL.crash}/{!PROTOCOL.recover} split describing exactly which
+    state survives a restart.
 
     The accounting functions mirror the paper's measurements: weights
     count lattice elements (the metric of Table I), byte sizes estimate
     wire/memory footprint (Fig. 9, Fig. 11), and {!PROTOCOL.work} counts
     deterministic CPU work units (elements touched by joins, ⊑ checks and
     decompositions — the basis of Fig. 1-right and Fig. 12). *)
+
+(** Fault classes a protocol declares it tolerates (beyond duplication
+    and reordering, which are mandatory).  "Tolerates" means: a run
+    injecting only that fault class still converges once the fault
+    schedule ends — lost or cut messages are eventually compensated by
+    retransmission, anti-entropy or explicit recovery. *)
+type capabilities = {
+  tolerates_drop : bool;
+      (** probabilistic message loss (retry-by-design protocols). *)
+  tolerates_partition : bool;
+      (** scheduled link cuts that heal at a known round. *)
+  tolerates_delay : bool;
+      (** messages held a bounded number of rounds, then delivered. *)
+  tolerates_crash : bool;
+      (** node restart losing volatile protocol state but keeping the
+          durable CRDT state (see {!PROTOCOL.crash}). *)
+}
 
 module type PROTOCOL = sig
   type crdt
@@ -27,6 +51,10 @@ module type PROTOCOL = sig
   type message
 
   val protocol_name : string
+
+  val capabilities : capabilities
+  (** Fault classes this protocol (in its current configuration)
+      tolerates; drivers must not inject others. *)
 
   val init : id:int -> neighbors:int list -> total:int -> node
   (** Fresh replica [id] whose synchronization partners are [neighbors]
@@ -44,6 +72,17 @@ module type PROTOCOL = sig
   val handle : node -> src:int -> message -> node * (int * message) list
   (** Process a received message; may produce immediate replies (used by
       the digest/reply exchange of Scuttlebutt). *)
+
+  val crash : node -> node
+  (** The node fails: volatile protocol state (buffers, caches, session
+      metadata) is lost; durable state (at least the CRDT state [xᵢ],
+      plus whatever the protocol documents as checkpointed with it)
+      survives.  [state (crash n) = state n] for every protocol. *)
+
+  val recover : node -> node
+  (** The node restarts from the durable image left by {!crash}:
+      rebuilds whatever working state it can and initiates the
+      protocol's recovery exchange (if any) on subsequent {!tick}s. *)
 
   val state : node -> crdt
   (** Current local lattice state [xᵢ]. *)

@@ -57,6 +57,22 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
 
   let protocol_name = if Cfg.gc then "scuttlebutt-gc" else "scuttlebutt"
 
+  (* Anti-entropy by digests is retry-by-design: any pair missing from a
+     summary is resent on the next exchange, so loss, cuts and delays
+     only cost rounds.  Crash–restart is tolerated through the durable
+     checkpoint (see [crash]) plus the peers' handling of {e regressed}
+     digests: a digest whose knowledge vectors went backwards never
+     shrinks anyone's state — [merge_knowledge] is a pointwise max — and
+     [missing_pairs] simply resends whatever the regressed summary no
+     longer covers (idempotently, keyed by version pair). *)
+  let capabilities =
+    {
+      Protocol_intf.tolerates_drop = true;
+      tolerates_partition = true;
+      tolerates_delay = true;
+      tolerates_crash = true;
+    }
+
   (* The GC variant needs the system size to tell when everyone has seen
      a pair: deletion only fires once summaries from all [total] nodes
      cover it. *)
@@ -92,6 +108,34 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     in
     let rec go s = if Im.mem (s + 1) m then go (s + 1) else s in
     Vclock.set origin (go (Vclock.get origin summary)) summary
+
+  (* Crash–restart.  Durable: the CRDT state and the summary vector,
+     checkpointed as one unit — persisting the own sequence counter with
+     the state is standard Scuttlebutt practice (reusing a sequence
+     number would alias two different deltas under one version pair),
+     and the other components only claim knowledge the durable [x]
+     actually contains.  Volatile: the pair store and the GC knowledge
+     matrix.
+
+     Losing the store does not endanger [x], but it would silence the
+     node as a {e forwarder}: peers whose summaries lag would be offered
+     nothing.  [recover] therefore reseeds the store with one snapshot
+     pair [⟨self, s+1, x⟩] carrying the full durable state under a fresh
+     sequence number; every peer's summary is below [s+1], so the next
+     digest exchange pulls the snapshot and resumes dissemination.  The
+     GC interplay is safe in both directions: pairs pruned before the
+     crash were, by the safe-delete rule, covered by this node's own
+     (durable) summary — i.e. already joined into [x] — and the rebuilt
+     knowledge matrix only delays this node's own pruning until it has
+     heard the whole system again. *)
+  let crash n = { n with store = Im.empty; knowledge = Im.empty }
+
+  let recover n =
+    if C.is_bottom n.x then n
+    else
+      let seq = Vclock.get n.self n.summary + 1 in
+      let store = store_add n.self seq n.x n.store in
+      { n with store; summary = advance_summary n.self store n.summary }
 
   let local_update n op =
     let delta = C.delta_mutate op n.id n.x in

@@ -53,6 +53,18 @@ end = struct
 
   let protocol_name = "sharded-" ^ P.protocol_name
 
+  (* Per-message faults (drop, partition cuts, delay) are exactly as
+     tolerable as in the per-object protocol.  Crash–restart is not:
+     object instances are created lazily on first use, so a restarted
+     node cannot run the per-object recovery exchange for keys other
+     nodes created while it was down — it does not know they exist — and
+     delta-based protocols never re-advertise old irreducibles for them.
+     Until the combinator gains a key-digest exchange, it conservatively
+     declines crash plans rather than risk silent divergence. *)
+  let capabilities = { P.capabilities with Protocol_intf.tolerates_crash = false }
+  let crash n = { n with objects = Km.map P.crash n.objects }
+  let recover n = { n with objects = Km.map P.recover n.objects }
+
   let init ~id ~neighbors ~total = { id; neighbors; total; objects = Km.empty }
 
   let obj n k =

@@ -21,6 +21,21 @@ module Make (C : Protocol_intf.CRDT) :
 
   let protocol_name = "state-based"
 
+  (* Shipping the full state every tick is a retransmission of
+     everything: loss, cuts, delays and restarts are all repaired by the
+     next delivered tick.  The only state is the durable CRDT itself, so
+     crash/recover are identities. *)
+  let capabilities =
+    {
+      Protocol_intf.tolerates_drop = true;
+      tolerates_partition = true;
+      tolerates_delay = true;
+      tolerates_crash = true;
+    }
+
+  let crash n = n
+  let recover n = n
+
   let init ~id ~neighbors ~total:_ =
     { id = Crdt_core.Replica_id.of_int id; neighbors; x = C.bottom; work = 0 }
 

@@ -1,0 +1,209 @@
+(** Adversity plans for the simulation engine.
+
+    A {!plan} bundles every transport- and node-level fault the runner can
+    inject:
+
+    - per-message randomness — {e duplication}, {e loss} and
+      {e reordering} — drawn from per-destination PRNG streams;
+    - {e link partitions}: during rounds [from_round ≤ r < heal_round],
+      messages between nodes in different islands are cut;
+    - {e per-link delay}: every message on a delayed link is held [hold]
+      rounds and delivered (unconditionally) at the release round;
+    - {e node crash–restart}: at [crash_round] the victim loses its
+      volatile protocol state ({!Crdt_proto.Protocol_intf.PROTOCOL.crash})
+      and goes dark — it neither ticks nor applies operations, and
+      messages addressed to it are lost — until [recover_round], when
+      {!Crdt_proto.Protocol_intf.PROTOCOL.recover} rebuilds its working
+      state from the durable image.
+
+    Partition, delay and crash decisions are pure functions of
+    [(round, src, dst)] — no randomness — so they are bit-identical at
+    every domain count by construction; only duplicate/drop/shuffle
+    consult the per-destination streams.
+
+    Every fault class beyond duplication/reordering (which all protocols
+    must tolerate, see {!Crdt_proto.Protocol_intf}) is a {e checked
+    capability}: {!require} rejects a plan up front unless the protocol
+    declares tolerance, so a lossy plan can no longer silently produce a
+    diverged run. *)
+
+type partition = {
+  from_round : int;  (** first round the cut is active. *)
+  heal_round : int;  (** first round the links are back up. *)
+  islands : int list list;
+      (** groups that cannot talk to each other while the partition is
+          active; nodes listed in no island form one extra residual
+          group. *)
+}
+
+type delay_rule = {
+  src : int;
+  dst : int;
+  hold : int;  (** rounds a message on the link is held ([≥ 1]). *)
+}
+
+type crash = {
+  victim : int;
+  crash_round : int;  (** volatile state is lost at the start of this round. *)
+  recover_round : int;  (** the node rejoins at the start of this round. *)
+}
+
+type plan = {
+  duplicate : float;  (** probability a delivered message is duplicated. *)
+  drop : float;  (** probability a message is dropped. *)
+  shuffle : bool;  (** randomize delivery order within a destination. *)
+  partitions : partition list;
+  delays : delay_rule list;
+  crashes : crash list;
+  seed : int;
+      (** base seed of the per-destination fault streams: destination
+          [d] draws from [Random.State.make [| seed; d |]], so random
+          fault decisions do not depend on how nodes are sharded across
+          domains. *)
+}
+
+let none =
+  {
+    duplicate = 0.;
+    drop = 0.;
+    shuffle = false;
+    partitions = [];
+    delays = [];
+    crashes = [];
+    seed = 7;
+  }
+
+(* Smart constructors, mainly for tests and the CLI.  They reject the
+   scheduling mistakes that do not need node/round context; the full
+   check (ranges, island overlap, heal deadline) runs in [validate]. *)
+let partition ~from_round ~heal_round islands =
+  if islands = [] then invalid_arg "Fault.partition: no islands";
+  if from_round < 0 || heal_round <= from_round then
+    invalid_arg "Fault.partition: need 0 <= from_round < heal_round";
+  { from_round; heal_round; islands }
+
+let delay ~src ~dst ~hold =
+  if hold < 1 then invalid_arg "Fault.delay: hold must be >= 1 round";
+  { src; dst; hold }
+
+let crash ~victim ~crash_round ~recover_round =
+  if crash_round < 0 || recover_round <= crash_round then
+    invalid_arg "Fault.crash: need 0 <= crash_round < recover_round";
+  { victim; crash_round; recover_round }
+
+let rng_active p = p.duplicate > 0. || p.drop > 0. || p.shuffle
+let structural p = p.partitions <> [] || p.delays <> [] || p.crashes <> []
+let active p = rng_active p || structural p
+
+(** Fault classes the plan demands but [caps] does not declare. *)
+let unsupported ~(caps : Crdt_proto.Protocol_intf.capabilities) p =
+  List.filter_map
+    (fun (needed, ok, cls) -> if needed && not ok then Some cls else None)
+    [
+      (p.drop > 0., caps.tolerates_drop, "drop");
+      (p.partitions <> [], caps.tolerates_partition, "partition");
+      (p.delays <> [], caps.tolerates_delay, "delay");
+      (p.crashes <> [], caps.tolerates_crash, "crash");
+    ]
+
+let supported ~caps p = unsupported ~caps p = []
+
+(** Fail fast when the plan demands a fault class the protocol does not
+    declare tolerance for — the former behaviour was a silently diverged
+    run. @raise Invalid_argument naming the protocol and the classes. *)
+let require ~protocol ~caps p =
+  match unsupported ~caps p with
+  | [] -> ()
+  | classes ->
+      invalid_arg
+        (Printf.sprintf
+           "Runner.run: fault plan injects {%s} but protocol %s does not \
+            declare tolerance for %s (see Protocol_intf.capabilities); the \
+            run would silently diverge"
+           (String.concat ", " classes) protocol
+           (if List.length classes = 1 then "it" else "them"))
+
+(** Structural validation against the run's shape.
+    @raise Invalid_argument on out-of-range probabilities or node ids,
+    empty or overlapping islands, non-positive hold, inverted or
+    overlapping crash windows, or schedules extending past [rounds]
+    (partitions must heal and crashed nodes must recover within the
+    measured phase, so every run ends with the full system online). *)
+let validate ~nodes ~rounds p =
+  let fail fmt = Printf.ksprintf invalid_arg fmt in
+  let prob name v =
+    if not (v >= 0. && v <= 1.) then
+      fail "Fault.validate: %s probability %g outside [0, 1]" name v
+  in
+  prob "duplicate" p.duplicate;
+  prob "drop" p.drop;
+  let check_node what i =
+    if i < 0 || i >= nodes then
+      fail "Fault.validate: %s node %d outside [0, %d)" what i nodes
+  in
+  List.iter
+    (fun part ->
+      if part.islands = [] then fail "Fault.validate: partition with no islands";
+      if not (0 <= part.from_round && part.from_round < part.heal_round) then
+        fail "Fault.validate: partition window [%d, %d) is empty or negative"
+          part.from_round part.heal_round;
+      if part.heal_round > rounds then
+        fail
+          "Fault.validate: partition heals at round %d, past the measured \
+           phase (%d rounds)"
+          part.heal_round rounds;
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (List.iter (fun i ->
+             check_node "partition island" i;
+             if Hashtbl.mem seen i then
+               fail "Fault.validate: node %d appears in two islands" i;
+             Hashtbl.add seen i ()))
+        part.islands)
+    p.partitions;
+  List.iter
+    (fun d ->
+      check_node "delay src" d.src;
+      check_node "delay dst" d.dst;
+      if d.hold < 1 then
+        fail "Fault.validate: delay hold %d on link %d→%d must be ≥ 1" d.hold
+          d.src d.dst)
+    p.delays;
+  let windows = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      check_node "crash victim" c.victim;
+      if not (0 <= c.crash_round && c.crash_round < c.recover_round) then
+        fail "Fault.validate: crash window [%d, %d) of node %d is empty or \
+              negative"
+          c.crash_round c.recover_round c.victim;
+      if c.recover_round > rounds then
+        fail
+          "Fault.validate: node %d recovers at round %d, past the measured \
+           phase (%d rounds)"
+          c.victim c.recover_round rounds;
+      let prev = Hashtbl.find_all windows c.victim in
+      List.iter
+        (fun (a, b) ->
+          if c.crash_round < b && a < c.recover_round then
+            fail "Fault.validate: overlapping crash windows for node %d"
+              c.victim)
+        prev;
+      Hashtbl.add windows c.victim (c.crash_round, c.recover_round))
+    p.crashes
+
+(** Island id per node for one partition; unlisted nodes share the
+    residual island [List.length islands]. *)
+let island_map ~nodes p =
+  let a = Array.make nodes (List.length p.islands) in
+  List.iteri (fun gi ns -> List.iter (fun i -> a.(i) <- gi) ns) p.islands;
+  a
+
+(** Latest scheduled heal/recovery round of the plan (0 when it has
+    none) — the reference point for time-to-converge-after-heal. *)
+let last_heal p =
+  let m =
+    List.fold_left (fun acc (part : partition) -> max acc part.heal_round) 0
+      p.partitions
+  in
+  List.fold_left (fun acc c -> max acc c.recover_round) m p.crashes

@@ -21,6 +21,11 @@ type selection = {
   delta_bp : bool;
   delta_rr : bool;
   delta_bp_rr : bool;
+  delta_ack : bool;
+      (** BP+RR with the ack-based δ-buffer (Section IV-C): the only
+          delta variant that tolerates message loss and partitions, so
+          fault experiments enable it; excluded from the paper's default
+          comparison set. *)
   scuttlebutt : bool;
   scuttlebutt_gc : bool;
   op_based : bool;
@@ -36,6 +41,7 @@ let all_protocols =
     delta_bp = true;
     delta_rr = true;
     delta_bp_rr = true;
+    delta_ack = false;
     scuttlebutt = true;
     scuttlebutt_gc = true;
     op_based = true;
@@ -49,6 +55,7 @@ let delta_only =
     delta_bp = false;
     delta_rr = false;
     delta_bp_rr = true;
+    delta_ack = false;
     scuttlebutt = false;
     scuttlebutt_gc = false;
     op_based = false;
@@ -62,8 +69,15 @@ module Make (C : Protocol_intf.CRDT) = struct
   struct
     module R = Runner.Make (P)
 
-    let go ?(domains = 1) ~topology ~rounds ~(ops : ops) () =
-      let res = R.run ~domains ~equal:C.equal ~topology ~rounds ~ops () in
+    let name = P.protocol_name
+    let caps = P.capabilities
+
+    let go ?faults ?quiesce_limit ?(domains = 1) ~topology ~rounds ~(ops : ops)
+        () =
+      let res =
+        R.run ?faults ?quiesce_limit ~domains ~equal:C.equal ~topology ~rounds
+          ~ops ()
+      in
       {
         protocol = P.protocol_name;
         summary = R.summary res;
@@ -78,44 +92,91 @@ module Make (C : Protocol_intf.CRDT) = struct
   module Bp = Run (Delta_sync.Make (C) (Delta_sync.Bp_config))
   module Rr = Run (Delta_sync.Make (C) (Delta_sync.Rr_config))
   module BpRr = Run (Delta_sync.Make (C) (Delta_sync.Bp_rr_config))
+  module Ack = Run (Delta_sync.Make (C) (Delta_sync.Ack_config))
   module Sb = Run (Scuttlebutt.Make (C) (Scuttlebutt.No_gc_config))
   module SbGc = Run (Scuttlebutt.Make (C) (Scuttlebutt.Gc_config))
   module Op = Run (Op_sync.Make (C))
   module Merkle = Run (Merkle_sync.Make (C) (Merkle_sync.Default_config))
 
+  (** Restrict [sel] to the protocols whose declared capabilities cover
+      the fault [plan]; also returns the names that were excluded, so
+      callers can report what was masked instead of silently shrinking
+      the comparison.  With [Fault.none] this is the identity. *)
+  let mask_unsupported (plan : Fault.plan) (sel : selection) =
+    let excluded = ref [] in
+    let keep flag ~name ~caps =
+      if (not flag) || Fault.supported ~caps plan then flag
+      else begin
+        excluded := name :: !excluded;
+        false
+      end
+    in
+    let sel =
+      {
+        state_based = keep sel.state_based ~name:State.name ~caps:State.caps;
+        delta_classic =
+          keep sel.delta_classic ~name:Classic.name ~caps:Classic.caps;
+        delta_bp = keep sel.delta_bp ~name:Bp.name ~caps:Bp.caps;
+        delta_rr = keep sel.delta_rr ~name:Rr.name ~caps:Rr.caps;
+        delta_bp_rr = keep sel.delta_bp_rr ~name:BpRr.name ~caps:BpRr.caps;
+        delta_ack = keep sel.delta_ack ~name:Ack.name ~caps:Ack.caps;
+        scuttlebutt = keep sel.scuttlebutt ~name:Sb.name ~caps:Sb.caps;
+        scuttlebutt_gc =
+          keep sel.scuttlebutt_gc ~name:SbGc.name ~caps:SbGc.caps;
+        op_based = keep sel.op_based ~name:Op.name ~caps:Op.caps;
+        merkle = keep sel.merkle ~name:Merkle.name ~caps:Merkle.caps;
+      }
+    in
+    (sel, List.rev !excluded)
+
   (** Run the selected protocols over the same topology and operation
       stream; results come back in a stable order with BP+RR last
       runnable as the ratio baseline.  [domains] selects the engine's
-      pool width (results are identical at any setting). *)
-  let run ?(selection = all_protocols) ?(domains = 1) ~topology ~rounds
-      ~(ops : ops) () =
+      pool width (results are identical at any setting).  A [faults]
+      plan applies identically to every selected protocol; protocols
+      whose capabilities do not cover it make {!Runner.Make.run} raise —
+      use {!mask_unsupported} first to drop them instead. *)
+  let run ?(selection = all_protocols) ?faults ?quiesce_limit ?(domains = 1)
+      ~topology ~rounds ~(ops : ops) () =
     let maybe flag f acc = if flag then f () :: acc else acc in
     List.rev
       ([]
       |> maybe selection.state_based (fun () ->
-             State.go ~domains ~topology ~rounds ~ops ())
+             State.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.delta_classic (fun () ->
-             Classic.go ~domains ~topology ~rounds ~ops ())
+             Classic.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops
+               ())
       |> maybe selection.delta_bp (fun () ->
-             Bp.go ~domains ~topology ~rounds ~ops ())
+             Bp.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.delta_rr (fun () ->
-             Rr.go ~domains ~topology ~rounds ~ops ())
+             Rr.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.delta_bp_rr (fun () ->
-             BpRr.go ~domains ~topology ~rounds ~ops ())
+             BpRr.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+      |> maybe selection.delta_ack (fun () ->
+             Ack.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.scuttlebutt (fun () ->
-             Sb.go ~domains ~topology ~rounds ~ops ())
+             Sb.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.scuttlebutt_gc (fun () ->
-             SbGc.go ~domains ~topology ~rounds ~ops ())
+             SbGc.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.op_based (fun () ->
-             Op.go ~domains ~topology ~rounds ~ops ())
+             Op.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
       |> maybe selection.merkle (fun () ->
-             Merkle.go ~domains ~topology ~rounds ~ops ()))
+             Merkle.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops
+               ()))
 
-  (** Find the BP+RR baseline in a result list. *)
+  (** Find the ratio baseline in a result list: BP+RR when present,
+      otherwise its ack-mode variant (fault runs may mask plain BP+RR),
+      otherwise the first outcome. *)
   let baseline outcomes =
-    match
-      List.find_opt (fun o -> o.protocol = "delta-bp+rr") outcomes
-    with
+    let find name = List.find_opt (fun o -> o.protocol = name) outcomes in
+    match find "delta-bp+rr" with
     | Some o -> o
-    | None -> invalid_arg "Harness.baseline: run BP+RR to compute ratios"
+    | None -> (
+        match find "delta-bp+rr-ack" with
+        | Some o -> o
+        | None -> (
+            match outcomes with
+            | o :: _ -> o
+            | [] ->
+                invalid_arg "Harness.baseline: empty outcome list"))
 end

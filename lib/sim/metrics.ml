@@ -14,6 +14,14 @@ type round = {
   memory_bytes : int;
   metadata_memory_bytes : int;
   ops_applied : int;  (** application operations applied this round. *)
+  dropped : int;
+      (** messages lost this round: probabilistic drops plus messages
+          addressed to a crashed node.  Dropped messages contribute
+          nothing to [messages] or the payload/metadata tallies. *)
+  held : int;
+      (** messages captured by a per-link delay this round; each is
+          counted in [messages] later, at its delivery round. *)
+  partitioned : int;  (** messages cut by an active partition this round. *)
 }
 
 let empty_round =
@@ -27,6 +35,9 @@ let empty_round =
     memory_bytes = 0;
     metadata_memory_bytes = 0;
     ops_applied = 0;
+    dropped = 0;
+    held = 0;
+    partitioned = 0;
   }
 
 type summary = {
@@ -41,6 +52,9 @@ type summary = {
   max_memory_weight : int;
   avg_metadata_memory_bytes : float;
   total_ops : int;  (** application operations applied over the rounds. *)
+  total_dropped : int;
+  total_held : int;
+  total_partitioned : int;
 }
 
 let summarize (rounds : round array) : summary =
@@ -62,6 +76,9 @@ let summarize (rounds : round array) : summary =
     avg_metadata_memory_bytes =
       float_of_int (fold (fun acc r -> acc + r.metadata_memory_bytes) 0) /. fn;
     total_ops = fold (fun acc r -> acc + r.ops_applied) 0;
+    total_dropped = fold (fun acc r -> acc + r.dropped) 0;
+    total_held = fold (fun acc r -> acc + r.held) 0;
+    total_partitioned = fold (fun acc r -> acc + r.partitioned) 0;
   }
 
 (** Grand total of transmitted units (payload + metadata). *)

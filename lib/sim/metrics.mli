@@ -15,6 +15,14 @@ type round = {
   memory_bytes : int;
   metadata_memory_bytes : int;
   ops_applied : int;  (** application operations applied this round. *)
+  dropped : int;
+      (** messages lost this round: probabilistic drops plus messages
+          addressed to a crashed node.  Dropped messages contribute
+          nothing to [messages] or the payload/metadata tallies. *)
+  held : int;
+      (** messages captured by a per-link delay this round; each is
+          counted in [messages] later, at its delivery round. *)
+  partitioned : int;  (** messages cut by an active partition this round. *)
 }
 
 val empty_round : round
@@ -33,6 +41,9 @@ type summary = {
   avg_metadata_memory_bytes : float;
   total_ops : int;
       (** application operations applied over the rounds. *)
+  total_dropped : int;
+  total_held : int;
+  total_partitioned : int;
 }
 
 val summarize : round array -> summary

@@ -6,11 +6,28 @@
     then every node runs a synchronization step; messages are delivered
     and any protocol-level replies (e.g. Scuttlebutt's digest → pairs
     exchange) are processed in waves until the network drains.
-    Transport-level faults can be injected: per-message duplication and
-    reordering — the channel properties state-based CRDTs must tolerate
-    (Section I) — and probabilistic message loss (tolerated by the
-    retry-by-design protocols: state-based, ack-mode delta, Scuttlebutt,
-    Merkle).
+
+    {2 Fault injection}
+
+    A {!Fault.plan} describes the adversity of a run: per-message
+    duplication and reordering — the channel properties state-based
+    CRDTs must tolerate (Section I) — plus four {e declared-capability}
+    fault classes: probabilistic loss, scheduled link partitions (healed
+    at a known round), per-link delay (messages held a fixed number of
+    rounds) and node crash–restart.  {!run} validates the plan against
+    {!Crdt_proto.Protocol_intf.PROTOCOL.capabilities} and fails fast on
+    a class the protocol does not declare, instead of the former
+    behaviour of silently returning a diverged run.
+
+    Execution semantics, per round: crash/recover events and due delayed
+    messages are applied at the round boundary ([begin_round]); a
+    crashed node neither ticks nor applies operations, loses its
+    volatile protocol state ([P.crash]) and keeps its durable state, and
+    messages addressed to it are counted as dropped; at [recover_round]
+    the node rejoins via [P.recover].  Partition cuts and delay captures
+    are decided per message at delivery time as pure functions of
+    [(round, src, dst)]; a message released from a delay is delivered
+    unconditionally (its fault checks ran when it was captured).
 
     {2 Engine}
 
@@ -25,9 +42,10 @@
     shard [s] owns nodes [s·n/W .. (s+1)·n/W) for ticking, delivery and
     memory snapshots alike.  Fault randomness is drawn from
     per-destination PRNG streams (seeded from [fault_plan.seed] and the
-    destination id) and per-shard counters are merged in shard order, so
-    for a fixed seed the parallel engine is bit-identical to the
-    sequential one at every [domains] setting.
+    destination id), partition/delay/crash decisions are deterministic
+    in [(round, src, dst)], and per-shard counters are merged in shard
+    order, so for a fixed seed the parallel engine is bit-identical to
+    the sequential one at every [domains] setting.
 
     After the measured rounds, the runner performs quiescent
     synchronization rounds (no further operations) until all replicas
@@ -44,18 +62,23 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     converged : bool;
   }
 
-  type fault_plan = {
+  (** Re-export of {!Fault.plan} (the definition protocols and the
+      harness share), keeping the record labels in scope here. *)
+  type fault_plan = Fault.plan = {
     duplicate : float;  (** probability a delivered message is duplicated. *)
-    drop : float;  (** probability a message is dropped (ack-mode only). *)
+    drop : float;  (** probability a message is dropped. *)
     shuffle : bool;  (** randomize delivery order within a destination. *)
+    partitions : Fault.partition list;
+    delays : Fault.delay_rule list;
+    crashes : Fault.crash list;
     seed : int;
         (** base seed of the per-destination fault streams: destination
-            [d] draws from [Random.State.make [| seed; d |]], so fault
-            decisions do not depend on how nodes are sharded across
+            [d] draws from [Random.State.make [| seed; d |]], so random
+            fault decisions do not depend on how nodes are sharded across
             domains. *)
   }
 
-  let no_faults = { duplicate = 0.; drop = 0.; shuffle = false; seed = 7 }
+  let no_faults = Fault.none
 
   (* Per-shard accumulator: mutable counters bumped per message/node and
      folded into an immutable Metrics.round once per round.  All fields
@@ -70,6 +93,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     mutable memory_weight : int;
     mutable memory_bytes : int;
     mutable metadata_memory_bytes : int;
+    mutable dropped : int;
+    mutable held : int;
+    mutable partitioned : int;
   }
 
   let make_acc () =
@@ -82,6 +108,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       memory_weight = 0;
       memory_bytes = 0;
       metadata_memory_bytes = 0;
+      dropped = 0;
+      held = 0;
+      partitioned = 0;
     }
 
   let reset_acc a =
@@ -92,24 +121,44 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     a.metadata_bytes <- 0;
     a.memory_weight <- 0;
     a.memory_bytes <- 0;
-    a.metadata_memory_bytes <- 0
+    a.metadata_memory_bytes <- 0;
+    a.dropped <- 0;
+    a.held <- 0;
+    a.partitioned <- 0
 
   type engine = {
     n : int;
     shards : int;
+    total_rounds : int;  (** measured rounds; the fault schedule ends here. *)
     nodes : P.node array;
     pool : Pool.t;
     faults : fault_plan;
-    faults_active : bool;
+    rng_faults : bool;
+        (** whether duplicate/drop/shuffle consult the PRNG streams. *)
+    adversity : bool;  (** whether partitions/delays/crashes are scheduled. *)
     rngs : Random.State.t array;
-        (** per-destination fault streams; [[||]] on the fault-free fast
-            path, where no PRNG is ever consulted. *)
+        (** per-destination fault streams; [[||]] when no random fault is
+            configured — that path never consults a PRNG. *)
+    parts : (Fault.partition * int array) array;
+        (** partitions with their compiled per-node island ids. *)
+    delay : (int, int) Hashtbl.t;  (** [src * n + dst ↦ hold] rounds. *)
+    events : (int * [ `Crash | `Recover ]) list array;
+        (** crash/recover events per round boundary, recoveries first;
+            length [total_rounds + 1]. *)
+    down : bool array;  (** currently crashed nodes. *)
+    held : (int * int * P.message) Dynbuf.t array;
+        (** per-destination [(release_round, src, msg)] captured by a
+            delay rule. *)
+    released : (int * P.message) Dynbuf.t array;
+        (** per-destination [(src, msg)] due this round, delivered in
+            the first wave without further fault checks. *)
     inbox : (int * P.message) Dynbuf.t array;
         (** per-destination [(src, msg)] pending this wave. *)
     out : (int * (int * P.message)) Dynbuf.t array;
         (** per-shard [(dst, (src, msg))] produced this wave, in
             production order. *)
     accs : acc array;  (** per-shard counters. *)
+    mutable now : int;  (** current round (measured and quiescent). *)
   }
 
   (* Shard [s] owns the contiguous node range [lo s, hi s): contiguity
@@ -120,13 +169,16 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
   let lo eng s = s * eng.n / eng.shards
   let hi eng s = (s + 1) * eng.n / eng.shards
 
-  (* Tick phase: shard-local; messages go to the shard's outbox. *)
+  (* Tick phase: shard-local; messages go to the shard's outbox.
+     Crashed nodes are dark — they do not tick. *)
   let tick_shard eng s =
     let out = eng.out.(s) in
     for i = lo eng s to hi eng s - 1 do
-      let node, msgs = P.tick eng.nodes.(i) in
-      eng.nodes.(i) <- node;
-      List.iter (fun (j, m) -> Dynbuf.push out (j, (i, m))) msgs
+      if not eng.down.(i) then begin
+        let node, msgs = P.tick eng.nodes.(i) in
+        eng.nodes.(i) <- node;
+        List.iter (fun (j, m) -> Dynbuf.push out (j, (i, m))) msgs
+      end
     done
 
   (* Route every outbox entry to its destination inbox.  Sequential, in
@@ -143,12 +195,34 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       eng.out;
     !any
 
-  (* Handle one wave of destination [d]'s inbox (shard-local: only
-     [nodes.(d)] and shard-owned buffers are touched). *)
+  (* An active partition cuts src → d this round iff some partition
+     window covers [now] and puts them on different islands. *)
+  let cut eng ~src ~dst =
+    let round = eng.now in
+    let k = Array.length eng.parts in
+    let rec go i =
+      if i >= k then false
+      else
+        let (p : Fault.partition), islands = eng.parts.(i) in
+        (round >= p.from_round && round < p.heal_round
+        && islands.(src) <> islands.(dst))
+        || go (i + 1)
+    in
+    go 0
+
+  let delay_of eng ~src ~dst =
+    if Hashtbl.length eng.delay = 0 then None
+    else Hashtbl.find_opt eng.delay ((src * eng.n) + dst)
+
+  (* Handle one wave of destination [d]'s inbox plus any delay releases
+     due this round (shard-local: only [nodes.(d)] and shard-owned
+     buffers are touched). *)
   let deliver_dst eng s d =
     let inb = eng.inbox.(d) in
+    let rel = eng.released.(d) in
     let len = Dynbuf.length inb in
-    if len > 0 then begin
+    let rlen = Dynbuf.length rel in
+    if len > 0 || rlen > 0 then begin
       let acc = eng.accs.(s) in
       let out = eng.out.(s) in
       let count msg =
@@ -163,34 +237,71 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         eng.nodes.(d) <- node;
         List.iter (fun (j, m) -> Dynbuf.push out (j, (d, m))) replies
       in
-      if eng.faults_active then begin
-        let f = eng.faults in
-        let rng = eng.rngs.(d) in
-        if f.shuffle then Dynbuf.shuffle ~rng inb;
-        for k = 0 to len - 1 do
-          let src, msg = Dynbuf.get inb k in
-          count msg;
-          let dropped = f.drop > 0. && Random.State.float rng 1. < f.drop in
-          if not dropped then begin
-            let deliveries =
-              if f.duplicate > 0. && Random.State.float rng 1. < f.duplicate
-              then 2
-              else 1
-            in
-            for _ = 1 to deliveries do
-              handle ~src msg
+      if eng.down.(d) then begin
+        (* Everything addressed to a crashed node is lost. *)
+        acc.dropped <- acc.dropped + len + rlen;
+        Dynbuf.clear inb;
+        Dynbuf.clear rel
+      end
+      else begin
+        (* Delay releases first: their fault checks ran at capture time,
+           so they are delivered unconditionally (and counted now). *)
+        if rlen > 0 then begin
+          for k = 0 to rlen - 1 do
+            let src, msg = Dynbuf.get rel k in
+            count msg;
+            handle ~src msg
+          done;
+          Dynbuf.clear rel
+        end;
+        if len > 0 then begin
+          if eng.rng_faults || eng.adversity then begin
+            let f = eng.faults in
+            if eng.rng_faults && f.shuffle then
+              Dynbuf.shuffle ~rng:eng.rngs.(d) inb;
+            for k = 0 to len - 1 do
+              let src, msg = Dynbuf.get inb k in
+              (* Deterministic checks (partition, delay) come first so
+                 the per-destination PRNG draw sequence is a function of
+                 the surviving message sequence only. *)
+              if cut eng ~src ~dst:d then
+                acc.partitioned <- acc.partitioned + 1
+              else
+                match delay_of eng ~src ~dst:d with
+                | Some hold ->
+                    acc.held <- acc.held + 1;
+                    Dynbuf.push eng.held.(d) (eng.now + hold, src, msg)
+                | None ->
+                    let dropped =
+                      eng.rng_faults && f.drop > 0.
+                      && Random.State.float eng.rngs.(d) 1. < f.drop
+                    in
+                    if dropped then acc.dropped <- acc.dropped + 1
+                    else begin
+                      count msg;
+                      let deliveries =
+                        if
+                          eng.rng_faults && f.duplicate > 0.
+                          && Random.State.float eng.rngs.(d) 1. < f.duplicate
+                        then 2
+                        else 1
+                      in
+                      for _ = 1 to deliveries do
+                        handle ~src msg
+                      done
+                    end
             done
           end
-        done
+          else
+            (* Fault-free fast path: no PRNG, one delivery per message. *)
+            for k = 0 to len - 1 do
+              let src, msg = Dynbuf.get inb k in
+              count msg;
+              handle ~src msg
+            done;
+          Dynbuf.clear inb
+        end
       end
-      else
-        (* Fault-free fast path: no PRNG, one delivery per message. *)
-        for k = 0 to len - 1 do
-          let src, msg = Dynbuf.get inb k in
-          count msg;
-          handle ~src msg
-        done;
-      Dynbuf.clear inb
     end
 
   let deliver_shard eng s =
@@ -198,10 +309,47 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       deliver_dst eng s d
     done
 
-  (* One synchronization round: tick every node, then drain the network
-     wave by wave (each Pool.run is a barrier between waves). *)
+  (* Round boundary: apply crash/recover events scheduled for [round]
+     (recoveries first, so back-to-back windows on one node behave) and
+     move due delayed messages into the release buffers.  Sequential and
+     in fixed order — deterministic at every domain count. *)
+  let begin_round eng ~round =
+    eng.now <- round;
+    if round <= eng.total_rounds then
+      List.iter
+        (fun (i, ev) ->
+          match ev with
+          | `Recover ->
+              eng.down.(i) <- false;
+              eng.nodes.(i) <- P.recover eng.nodes.(i)
+          | `Crash ->
+              eng.down.(i) <- true;
+              eng.nodes.(i) <- P.crash eng.nodes.(i))
+        eng.events.(round);
+    Array.iteri
+      (fun d buf ->
+        if not (Dynbuf.is_empty buf) then begin
+          let keep = ref [] in
+          for k = 0 to Dynbuf.length buf - 1 do
+            let (due, src, msg) as e = Dynbuf.get buf k in
+            if due <= round then Dynbuf.push eng.released.(d) (src, msg)
+            else keep := e :: !keep
+          done;
+          Dynbuf.clear buf;
+          List.iter (Dynbuf.push buf) (List.rev !keep)
+        end)
+      eng.held
+
+  (* One synchronization round: tick every live node, then drain the
+     network wave by wave (each Pool.run is a barrier between waves).
+     The first wave also delivers the delay releases of this round, so
+     it must run even when ticking produced nothing. *)
   let sync_round eng =
     Pool.run eng.pool (tick_shard eng);
+    let any_released =
+      Array.exists (fun b -> not (Dynbuf.is_empty b)) eng.released
+    in
+    if route eng || any_released then Pool.run eng.pool (deliver_shard eng);
     while route eng do
       Pool.run eng.pool (deliver_shard eng)
     done
@@ -235,6 +383,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             memory_bytes = r.memory_bytes + a.memory_bytes;
             metadata_memory_bytes =
               r.metadata_memory_bytes + a.metadata_memory_bytes;
+            dropped = r.dropped + a.dropped;
+            held = r.held + a.held;
+            partitioned = r.partitioned + a.partitioned;
           })
         { Metrics.empty_round with ops_applied }
         eng.accs
@@ -252,58 +403,100 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       at the start of [round] given its current local state (Retwis needs
       the state to read follower sets); the ops phase always runs
       sequentially on the calling domain because workload generators may
-      carry their own PRNG.  [quiesce_limit] bounds the post-measurement
-      convergence phase.  [domains] sets the pool width; any value
-      produces bit-identical results for a fixed fault seed. *)
+      carry their own PRNG; a crashed node performs no operations.
+      [quiesce_limit] bounds the post-measurement convergence phase.
+      [domains] sets the pool width; any value produces bit-identical
+      results for a fixed fault seed.
+
+      @raise Invalid_argument when the fault plan is structurally
+      invalid ({!Fault.validate}) or demands a fault class the protocol
+      does not declare in its capabilities ({!Fault.require}). *)
   let run ?(faults = no_faults) ?(quiesce_limit = 64) ?(domains = 1) ~equal
       ~topology ~rounds ~ops () =
     if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
     let n = Topology.size topology in
+    Fault.validate ~nodes:n ~rounds faults;
+    Fault.require ~protocol:P.protocol_name ~caps:P.capabilities faults;
     let nodes =
       Array.init n (fun i ->
           P.init ~id:i ~neighbors:(Topology.neighbors topology i) ~total:n)
     in
     Pool.with_pool domains (fun pool ->
-        let faults_active =
-          faults.duplicate > 0. || faults.drop > 0. || faults.shuffle
-        in
+        let rng_faults = Fault.rng_active faults in
+        let adversity = Fault.structural faults in
         let shards = Pool.size pool in
+        let delay = Hashtbl.create (max 1 (List.length faults.delays)) in
+        List.iter
+          (fun (d : Fault.delay_rule) ->
+            Hashtbl.replace delay ((d.src * n) + d.dst) d.hold)
+          faults.delays;
+        let events = Array.make (rounds + 1) [] in
+        List.iter
+          (fun (c : Fault.crash) ->
+            events.(c.crash_round) <-
+              events.(c.crash_round) @ [ (c.victim, `Crash) ];
+            events.(c.recover_round) <-
+              (c.victim, `Recover) :: events.(c.recover_round))
+          faults.crashes;
         let eng =
           {
             n;
             shards;
+            total_rounds = rounds;
             nodes;
             pool;
             faults;
-            faults_active;
+            rng_faults;
+            adversity;
             rngs =
-              (if faults_active then
+              (if rng_faults then
                  Array.init n (fun d -> Random.State.make [| faults.seed; d |])
                else [||]);
+            parts =
+              Array.of_list
+                (List.map
+                   (fun p -> (p, Fault.island_map ~nodes:n p))
+                   faults.partitions);
+            delay;
+            events;
+            down = Array.make n false;
+            held = Array.init n (fun _ -> Dynbuf.create ());
+            released = Array.init n (fun _ -> Dynbuf.create ());
             inbox = Array.init n (fun _ -> Dynbuf.create ());
             out = Array.init shards (fun _ -> Dynbuf.create ());
             accs = Array.init shards (fun _ -> make_acc ());
+            now = 0;
           }
         in
         let measured =
           Array.init rounds (fun round ->
+              begin_round eng ~round;
               let applied = ref 0 in
               Array.iteri
                 (fun i _ ->
-                  List.iter
-                    (fun op ->
-                      nodes.(i) <- P.local_update nodes.(i) op;
-                      incr applied)
-                    (ops ~round ~node:i (P.state nodes.(i))))
+                  if not eng.down.(i) then
+                    List.iter
+                      (fun op ->
+                        nodes.(i) <- P.local_update nodes.(i) op;
+                        incr applied)
+                      (ops ~round ~node:i (P.state nodes.(i))))
                 nodes;
               sync_round eng;
               finish_round eng ~ops_applied:!applied)
         in
         (* Quiescent phase: keep synchronizing without new operations
-           until all replicas agree (or the bound is hit). *)
+           until all replicas agree (or the bound is hit).  Events
+           scheduled exactly at [rounds] (a heal/recovery closing the
+           measured phase) land at the first quiescent boundary, so that
+           round is forced even if states momentarily look equal. *)
+        let late_events = events.(rounds) <> [] in
         let quiesce = ref [] in
         let steps = ref 0 in
-        while (not (all_equal ~equal nodes)) && !steps < quiesce_limit do
+        while
+          !steps < quiesce_limit
+          && ((!steps = 0 && late_events) || not (all_equal ~equal nodes))
+        do
+          begin_round eng ~round:(rounds + !steps);
           incr steps;
           sync_round eng;
           quiesce := finish_round eng ~ops_applied:0 :: !quiesce

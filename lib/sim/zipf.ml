@@ -22,9 +22,10 @@ let make ~rng ~s ~n =
 
 let support t = Array.length t.cumulative
 
-(** Draw a sample; rank 0 is the most popular item. *)
-let sample t =
-  let u = Random.State.float t.rng 1.0 in
+(** Rank for a given uniform draw [u ∈ [0, 1)]: the first index whose
+    cumulative mass reaches [u].  Exposed so the inversion can be tested
+    at exact boundary values without going through the PRNG. *)
+let sample_at t u =
   (* Binary search for the first index whose cumulative mass reaches u. *)
   let lo = ref 0 and hi = ref (Array.length t.cumulative - 1) in
   while !lo < !hi do
@@ -33,6 +34,9 @@ let sample t =
   done;
   !lo
 
-(** Empirical probability of the most popular item, for tests. *)
-let head_mass t =
-  t.cumulative.(0)
+(** Draw a sample; rank 0 is the most popular item. *)
+let sample t = sample_at t (Random.State.float t.rng 1.0)
+
+(** Exact probability mass of rank 0 — the first entry of the normalized
+    CDF, not an empirical measurement. *)
+let head_mass t = t.cumulative.(0)

@@ -14,5 +14,11 @@ val support : t -> int
 val sample : t -> int
 (** Draw a sample; rank 0 is the most popular item. *)
 
+val sample_at : t -> float -> int
+(** [sample_at t u] is the rank a uniform draw [u ∈ [0, 1)] maps to:
+    the first index whose cumulative mass reaches [u].  [sample] is
+    [sample_at] of a PRNG draw; exposed for boundary tests. *)
+
 val head_mass : t -> float
-(** Probability of the most popular item. *)
+(** Exact probability mass of rank 0 — the first entry of the
+    normalized CDF, not an empirical measurement. *)

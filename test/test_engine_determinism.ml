@@ -1,8 +1,11 @@
 (* The parallel engine's contract: for a fixed fault seed, any [domains]
    setting produces results bit-identical to the sequential engine —
    same finals, same convergence verdict, same per-round metrics, same
-   per-node work — including under duplicate / drop / shuffle fault
-   plans.  Also unit-covers the engine's substrate (Pool, Dynbuf). *)
+   per-node work — including under duplicate / drop / shuffle plans and
+   the structural adversity layer (partitions, per-link delay,
+   crash–restart).  Plans are gated on each protocol's declared
+   capabilities, mirroring what Runner.run enforces.  Also unit-covers
+   the engine's substrate (Pool, Dynbuf). *)
 
 open Crdt_core
 open Crdt_sim
@@ -31,8 +34,10 @@ struct
     && a.R.quiesce_rounds = b.R.quiesce_rounds
     && a.R.work = b.R.work
 
-  (* Compare sequential vs domains = 2 and 4 over several fault plans. *)
+  (* Compare sequential vs domains = 2 and 4 over several fault plans,
+     keeping only those the protocol declares tolerance for. *)
   let cases name topology rounds =
+    let n = Topology.size topology in
     let plans =
       [
         ("no faults", R.no_faults);
@@ -40,8 +45,31 @@ struct
         ("shuffle", { R.no_faults with shuffle = true; seed = 12 });
         ("drop", { R.no_faults with drop = 0.3; seed = 13 });
         ( "duplicate+drop+shuffle",
-          { duplicate = 0.3; drop = 0.2; shuffle = true; seed = 14 } );
+          { R.no_faults with duplicate = 0.3; drop = 0.2; shuffle = true;
+            seed = 14 } );
+        ( "partition",
+          { R.no_faults with
+            partitions = [ Fault.partition ~from_round:1 ~heal_round:3 [ [ 0; 1 ] ] ];
+          } );
+        ( "delay",
+          { R.no_faults with
+            delays = [ Fault.delay ~src:0 ~dst:1 ~hold:2 ];
+          } );
+        ( "crash",
+          { R.no_faults with
+            crashes = [ Fault.crash ~victim:(n - 1) ~crash_round:1 ~recover_round:3 ];
+          } );
+        ( "partition+delay+crash+shuffle",
+          { R.no_faults with
+            shuffle = true;
+            seed = 15;
+            partitions = [ Fault.partition ~from_round:0 ~heal_round:2 [ [ 0 ] ] ];
+            delays = [ Fault.delay ~src:1 ~dst:0 ~hold:1 ];
+            crashes = [ Fault.crash ~victim:2 ~crash_round:2 ~recover_round:3 ];
+          } );
       ]
+      |> List.filter (fun (_, plan) ->
+             Fault.supported ~caps:P.capabilities plan)
     in
     List.map
       (fun (plan_name, faults) ->

@@ -7,7 +7,8 @@ let check_int = Alcotest.(check int)
 
 let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     ?(metadata_bytes = 0) ?(memory_weight = 0) ?(memory_bytes = 0)
-    ?(metadata_memory_bytes = 0) ?(ops_applied = 0) () : Metrics.round =
+    ?(metadata_memory_bytes = 0) ?(ops_applied = 0) ?(dropped = 0) ?(held = 0)
+    ?(partitioned = 0) () : Metrics.round =
   {
     messages;
     payload;
@@ -18,6 +19,9 @@ let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     memory_bytes;
     metadata_memory_bytes;
     ops_applied;
+    dropped;
+    held;
+    partitioned;
   }
 
 let tests =
@@ -65,6 +69,17 @@ let tests =
         check "msgs/sec" true (Metrics.msgs_per_sec s ~seconds:2. = 15.);
         check "nan on zero interval" true
           (Float.is_nan (Metrics.ops_per_sec s ~seconds:0.)));
+    Alcotest.test_case "fault counters are summed" `Quick (fun () ->
+        let s =
+          Metrics.summarize
+            [|
+              round ~dropped:3 ~held:1 ~partitioned:2 ();
+              round ~dropped:4 ~partitioned:5 ();
+            |]
+        in
+        check_int "dropped" 7 s.total_dropped;
+        check_int "held" 1 s.total_held;
+        check_int "partitioned" 7 s.total_partitioned);
     Alcotest.test_case "ratios" `Quick (fun () ->
         check "ratio" true (Metrics.ratio ~baseline:10 25 = 2.5);
         check "nan on zero baseline" true

@@ -142,21 +142,26 @@ let harness_tests =
         Alcotest.(check string)
           "baseline" "delta-bp+rr"
           (H.baseline outcomes).protocol);
-    Alcotest.test_case "baseline demands bp+rr in the selection" `Quick
+    Alcotest.test_case "baseline falls back when bp+rr is masked" `Quick
       (fun () ->
-        check "raises" true
+        (* Fault runs may exclude plain bp+rr (it does not tolerate
+           loss); the baseline then degrades to the first outcome
+           instead of crashing the report. *)
+        let only =
+          {
+            Harness.protocol = "state-based";
+            summary = Metrics.summarize [||];
+            full = Metrics.summarize [||];
+            work = 0;
+            converged = true;
+          }
+        in
+        Alcotest.(check string)
+          "fallback" "state-based"
+          (H.baseline [ only ]).protocol;
+        check "raises on empty" true
           (try
-             ignore
-               (H.baseline
-                  [
-                    {
-                      Harness.protocol = "state-based";
-                      summary = Metrics.summarize [||];
-                      full = Metrics.summarize [||];
-                      work = 0;
-                      converged = true;
-                    };
-                  ]);
+             ignore (H.baseline []);
              false
            with Invalid_argument _ -> true));
     Alcotest.test_case "protocol names are stable identifiers" `Quick

@@ -50,6 +50,48 @@ let tests =
           List.init 100 (fun _ -> Zipf.sample z)
         in
         check "equal sequences" true (draw () = draw ()));
+    Alcotest.test_case "sample_at boundary draws" `Quick (fun () ->
+        let rng = Random.State.make [| 6 |] in
+        let z = Zipf.make ~rng ~s:1.0 ~n:10 in
+        Alcotest.(check int) "u = 0 maps to the head" 0 (Zipf.sample_at z 0.);
+        Alcotest.(check int) "u just under 1 maps to the tail" 9
+          (Zipf.sample_at z 0.999_999_999);
+        (* A draw landing exactly on a CDF entry belongs to that rank
+           (first index whose cumulative mass reaches u). *)
+        Alcotest.(check int) "u = head_mass stays on rank 0" 0
+          (Zipf.sample_at z (Zipf.head_mass z)));
+    Alcotest.test_case "n = 1 always draws the only item" `Quick (fun () ->
+        let rng = Random.State.make [| 7 |] in
+        let z = Zipf.make ~rng ~s:1.3 ~n:1 in
+        check "head mass is 1" true (Zipf.head_mass z = 1.);
+        for _ = 1 to 100 do
+          Alcotest.(check int) "only rank" 0 (Zipf.sample z)
+        done);
+    Alcotest.test_case "chi-squared fit against the analytic masses" `Quick
+      (fun () ->
+        let n = 20 and draws = 100_000 in
+        let rng = Random.State.make [| 8 |] in
+        let z = Zipf.make ~rng ~s:1.0 ~n in
+        let h = histogram z draws in
+        (* Analytic mass of rank k at s = 1: 1/(k+1) over the harmonic
+           normalizer H(n). *)
+        let norm = ref 0. in
+        for k = 1 to n do
+          norm := !norm +. (1. /. float_of_int k)
+        done;
+        let chi2 = ref 0. in
+        for k = 0 to n - 1 do
+          let expected =
+            float_of_int draws /. (float_of_int (k + 1) *. !norm)
+          in
+          let diff = float_of_int h.(k) -. expected in
+          chi2 := !chi2 +. (diff *. diff /. expected)
+        done;
+        (* 19 degrees of freedom: χ²₀.₉₉₉ ≈ 43.8; a correct sampler sits
+           far below, a mis-normalized CDF blows far past. *)
+        check
+          (Printf.sprintf "chi2 = %.1f < 43.8" !chi2)
+          true (!chi2 < 43.8));
     Alcotest.test_case "invalid parameters rejected" `Quick (fun () ->
         let rng = Random.State.make [| 5 |] in
         check "n = 0" true
