@@ -3,13 +3,15 @@
    Subcommands:
      micro   run a micro-benchmark (Table I workload) under every protocol
      retwis  run the Retwis application benchmark (classic vs BP+RR)
+     serve   run one live replica over real sockets (lib/net runtime)
      topo    describe a topology
 
    Examples:
      crdtsync micro --crdt gset --topology mesh --nodes 15 --rounds 100
-     crdtsync micro --crdt gmap --k 60 --topology tree
+     crdtsync micro --crdt gmap --k 60 --topology tree --bytes estimate
      crdtsync micro --drop 0.2 --crash 3:10:30 --partition '20:60:0,1,2'
      crdtsync retwis --zipf 1.25 --users 1000 --nodes 16 --rounds 40
+     crdtsync serve --id 0 --listen 127.0.0.1:7000 --peer 1=127.0.0.1:7001
      crdtsync topo --topology mesh --nodes 15
 
    Fault flags build a Crdt_sim.Fault.plan; protocols whose declared
@@ -166,9 +168,24 @@ let fault_term =
     const build $ drop $ duplicate $ shuffle $ partitions $ delays $ crashes
     $ seed)
 
+(* Byte accounting shared by micro and retwis: exact framed wire sizes
+   (what lib/wire puts on a socket) or the paper's estimate model. *)
+let bytes_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("exact", Metrics.Exact); ("estimate", Metrics.Estimate) ])
+        Metrics.Exact
+    & info [ "bytes" ] ~docv:"MODE"
+        ~doc:
+          "Byte accounting: $(b,exact) measures the exact framed wire size \
+           of every delivered message; $(b,estimate) uses the paper's byte \
+           model (node id = 20 B, int = 8 B).")
+
 (* -- micro -------------------------------------------------------------- *)
 
-let print_outcomes outcomes =
+let print_outcomes ~accounting outcomes =
   let baseline =
     let find name =
       List.find_opt (fun (o : Harness.outcome) -> o.protocol = name) outcomes
@@ -178,14 +195,17 @@ let print_outcomes outcomes =
     | None, None, [] -> invalid_arg "no protocol selected"
   in
   let base = Metrics.total_transmission baseline.summary in
-  Printf.printf "%-17s %14s %8s %14s %12s\n" "protocol" "tx (elements)"
-    "ratio" "avg mem (elt)" "work units";
+  Printf.printf "byte accounting: %s\n"
+    (Metrics.accounting_name accounting);
+  Printf.printf "%-17s %14s %8s %14s %14s %12s\n" "protocol" "tx (elements)"
+    "ratio" "tx (bytes)" "avg mem (elt)" "work units";
   List.iter
     (fun (o : Harness.outcome) ->
       let tx = Metrics.total_transmission o.summary in
-      Printf.printf "%-17s %14d %8.2f %14.0f %12d%s\n" o.protocol tx
+      let txb = Metrics.transmission_bytes ~accounting o.summary in
+      Printf.printf "%-17s %14d %8.2f %14d %14.0f %12d%s\n" o.protocol tx
         (float_of_int tx /. float_of_int base)
-        o.full.Metrics.avg_memory_weight o.work
+        txb o.full.Metrics.avg_memory_weight o.work
         (if o.converged then "" else "  NOT CONVERGED"))
     outcomes
 
@@ -213,7 +233,7 @@ let report_skipped = function
       Printf.printf "skipping (no declared fault tolerance): %s\n\n"
         (String.concat ", " names)
 
-let run_micro crdt topology nodes rounds k domains faults =
+let run_micro crdt topology nodes rounds k domains faults bytes =
   let topo = make_topology topology nodes in
   Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
     rounds;
@@ -231,7 +251,7 @@ let run_micro crdt topology nodes rounds k domains faults =
             H.mask_unsupported faults (base_selection Harness.all_protocols)
           in
           report_skipped skipped;
-          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
             ~ops:(fun ~round ~node state ->
               Workload.gset ~nodes ~round ~node state)
             ()
@@ -241,7 +261,7 @@ let run_micro crdt topology nodes rounds k domains faults =
             H.mask_unsupported faults (base_selection Harness.all_protocols)
           in
           report_skipped skipped;
-          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
             ~ops:(fun ~round ~node state ->
               Workload.gcounter ~round ~node state)
             ()
@@ -251,7 +271,7 @@ let run_micro crdt topology nodes rounds k domains faults =
             H.mask_unsupported faults (base_selection Harness.all_protocols)
           in
           report_skipped skipped;
-          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
             ~ops:(fun ~round ~node state ->
               Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
             ()
@@ -264,7 +284,7 @@ let run_micro crdt topology nodes rounds k domains faults =
               (base_selection { Harness.all_protocols with op_based = false })
           in
           report_skipped skipped;
-          H.run ~selection ~faults ~domains ~topology:topo ~rounds
+          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
             ~ops:(fun ~round ~node state ->
               let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
               if round mod 3 = 0 && node = 0 then
@@ -275,7 +295,7 @@ let run_micro crdt topology nodes rounds k domains faults =
             ()
       | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other)
     in
-    print_outcomes outcomes;
+    print_outcomes ~accounting:bytes outcomes;
     convergence_verdict outcomes
   with Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -298,15 +318,17 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
     Term.(
       const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k
-      $ domains_arg $ fault_term)
+      $ domains_arg $ fault_term $ bytes_arg)
 
 (* -- retwis ------------------------------------------------------------- *)
 
-let run_retwis zipf users topology nodes rounds domains faults =
+let run_retwis zipf users topology nodes rounds domains faults bytes =
   let topo = make_topology topology nodes in
   Printf.printf
-    "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\n" users
-    zipf topology nodes rounds;
+    "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\
+     byte accounting: %s\n\n"
+    users zipf topology nodes rounds
+    (Metrics.accounting_name bytes);
   let module Classic =
     Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Classic_config) in
   let module BpRr =
@@ -317,15 +339,16 @@ let run_retwis zipf users topology nodes rounds domains faults =
     let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
     let w1 = wl () in
     let rc =
-      Rc.run ~faults ~domains ~equal:Classic.equal_states ~topology:topo
-        ~rounds
+      Rc.run ~faults ~domains ~bytes ~equal:Classic.equal_states
+        ~topology:topo ~rounds
         ~ops:(fun ~round ~node state ->
           Crdt_retwis.Workload.ops_sharded w1 ~round ~node state)
         ()
     in
     let w2 = wl () in
     let rb =
-      Rb.run ~faults ~domains ~equal:BpRr.equal_states ~topology:topo ~rounds
+      Rb.run ~faults ~domains ~bytes ~equal:BpRr.equal_states ~topology:topo
+        ~rounds
         ~ops:(fun ~round ~node state ->
           Crdt_retwis.Workload.ops_sharded w2 ~round ~node state)
         ()
@@ -333,7 +356,7 @@ let run_retwis zipf users topology nodes rounds domains faults =
     let row name (s : Metrics.summary) work converged =
       Printf.printf "%-14s tx=%9d bytes   mem/node=%9.0f bytes   work=%9d%s\n"
         name
-        (Metrics.total_transmission_bytes s)
+        (Metrics.transmission_bytes ~accounting:bytes s)
         (s.Metrics.avg_memory_bytes /. float_of_int nodes)
         work
         (if converged then "" else "  NOT CONVERGED")
@@ -375,7 +398,184 @@ let retwis_cmd =
        ~doc:"Run the Retwis application benchmark (classic vs BP+RR)")
     Term.(
       const run_retwis $ zipf $ users $ topology_arg $ nodes_arg $ rounds_arg
-      $ domains_arg $ fault_term)
+      $ domains_arg $ fault_term $ bytes_arg)
+
+(* -- serve -------------------------------------------------------------- *)
+
+(* One live replica over real sockets (lib/net): listens on --listen,
+   dials every --peer, applies --ops deterministic operations (one per
+   tick), synchronizes under the selected protocol, and exits once all
+   replicas agree they are done.  --state-out writes the hex-encoded
+   canonical final state so an external check can compare replicas. *)
+
+let to_hex s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+(* "ID=ADDR" *)
+let parse_peer s =
+  match String.index_opt s '=' with
+  | Some i -> (
+      let id = String.sub s 0 i in
+      let addr = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt id with
+      | Some id -> (id, Crdt_net.Addr.parse_exn addr)
+      | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s))
+  | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s)
+
+module Serve (C : Crdt_proto.Protocol_intf.CRDT) = struct
+  module type P_SIG =
+    Crdt_proto.Protocol_intf.PROTOCOL
+      with type crdt = C.t
+       and type op = C.op
+
+  let go ~protocol ~(cfg : Crdt_net.Runtime.config)
+      ~(ops : tick:int -> C.op list) ~state_out =
+    let run (p : (module P_SIG)) =
+      let module P = (val p) in
+      let module R = Crdt_net.Runtime.Make (P) in
+      let final = R.serve cfg ~ops in
+      Printf.printf "node %d: final state weight=%d bytes=%d (%s)\n"
+        cfg.Crdt_net.Runtime.id (C.weight final) (C.byte_size final)
+        P.protocol_name;
+      (match state_out with
+      | None -> ()
+      | Some path ->
+          let encoded = Crdt_wire.Codec.encode_to_string C.codec final in
+          let oc = open_out path in
+          output_string oc (to_hex encoded);
+          output_char oc '\n';
+          close_out oc);
+      0
+    in
+    let open Crdt_proto in
+    match protocol with
+    | "state" -> run (module State_sync.Make (C))
+    | "delta-classic" ->
+        run (module Delta_sync.Make (C) (Delta_sync.Classic_config))
+    | "delta-bp" -> run (module Delta_sync.Make (C) (Delta_sync.Bp_config))
+    | "delta-rr" -> run (module Delta_sync.Make (C) (Delta_sync.Rr_config))
+    | "delta-bp+rr" ->
+        run (module Delta_sync.Make (C) (Delta_sync.Bp_rr_config))
+    | other -> invalid_arg (Printf.sprintf "unknown protocol %S" other)
+end
+
+let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
+    max_ticks state_out verbose =
+  try
+    let listen = Crdt_net.Addr.parse_exn listen in
+    let peers = List.map parse_peer peers in
+    let cfg =
+      {
+        (Crdt_net.Runtime.default_config ~id ~listen ~peers
+           ~total:(1 + List.length peers))
+        with
+        ops_ticks;
+        tick_ms;
+        quiet_ticks;
+        max_ticks;
+        verbose;
+      }
+    in
+    match crdt with
+    | "gset" ->
+        let module S = Serve (Gset.Of_int) in
+        (* Per-tick elements are disjoint across replicas, so the final
+           cardinal is checkable: nodes * ops. *)
+        S.go ~protocol ~cfg
+          ~ops:(fun ~tick -> [ (id * 1_000_000) + tick ])
+          ~state_out
+    | "gcounter" ->
+        let module S = Serve (Gcounter) in
+        S.go ~protocol ~cfg ~ops:(fun ~tick:_ -> [ Gcounter.Inc 1 ]) ~state_out
+    | "gmap" ->
+        let module S = Serve (Gmap.Versioned) in
+        (* Contended keys: every replica bumps the same 50-key window. *)
+        S.go ~protocol ~cfg
+          ~ops:(fun ~tick -> [ Gmap.Versioned.Apply (tick mod 50, Version.Bump) ])
+          ~state_out
+    | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other)
+  with
+  | Invalid_argument msg | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  | Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "error: %s (%s %s)\n" (Unix.error_message e) fn arg;
+      2
+
+let serve_cmd =
+  let id =
+    Arg.(
+      required & opt (some int) None
+      & info [ "id" ] ~docv:"ID" ~doc:"This replica's node id.")
+  in
+  let listen =
+    Arg.(
+      required & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Listen address: HOST:PORT or unix:PATH.")
+  in
+  let peers =
+    Arg.(
+      value & opt_all string []
+      & info [ "peer" ] ~docv:"ID=ADDR"
+          ~doc:"A peer replica's id and listen address; repeatable.")
+  in
+  let crdt =
+    Arg.(
+      value & opt string "gset"
+      & info [ "crdt"; "c" ] ~docv:"CRDT"
+          ~doc:"Replicated data type: gset, gcounter or gmap.")
+  in
+  let protocol =
+    Arg.(
+      value & opt string "delta-bp+rr"
+      & info [ "protocol"; "p" ] ~docv:"PROTO"
+          ~doc:
+            "Synchronization protocol: state, delta-classic, delta-bp, \
+             delta-rr or delta-bp+rr.")
+  in
+  let ops =
+    Arg.(
+      value & opt int 10
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Apply one deterministic operation per tick for N ticks.")
+  in
+  let tick_ms =
+    Arg.(
+      value & opt int 20
+      & info [ "tick-ms" ] ~docv:"MS"
+          ~doc:"Synchronization interval in milliseconds.")
+  in
+  let quiet_ticks =
+    Arg.(
+      value & opt int 5
+      & info [ "quiet-ticks" ] ~docv:"K"
+          ~doc:
+            "Consecutive traffic-free ticks (after the ops are done) \
+             before announcing completion to peers.")
+  in
+  let max_ticks =
+    Arg.(
+      value & opt int 5000
+      & info [ "max-ticks" ] ~docv:"T" ~doc:"Hard bound on the run length.")
+  in
+  let state_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "state-out" ] ~docv:"FILE"
+          ~doc:"Write the hex-encoded final state to FILE on exit.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log runtime events.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run one live replica over real sockets (lib/net runtime)")
+    Term.(
+      const run_serve $ id $ listen $ peers $ crdt $ protocol $ ops $ tick_ms
+      $ quiet_ticks $ max_ticks $ state_out $ verbose)
 
 (* -- partition ---------------------------------------------------------- *)
 
@@ -446,4 +646,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "crdtsync" ~version:"1.0.0" ~doc)
-          [ micro_cmd; retwis_cmd; partition_cmd; topo_cmd ]))
+          [ micro_cmd; retwis_cmd; serve_cmd; partition_cmd; topo_cmd ]))

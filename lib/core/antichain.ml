@@ -60,4 +60,9 @@ end = struct
   let elements = S.elements
   let insert e s = join (S.singleton e) s
   let mem e s = S.mem e s
+
+  (* Decoding re-maximalizes via [of_list], so corrupt input encoding
+     comparable elements still yields a valid antichain. *)
+  let codec =
+    Crdt_wire.Codec.conv S.elements of_list (Crdt_wire.Codec.list P.codec)
 end

@@ -56,6 +56,11 @@ end = struct
 
     let byte_size ((_, e) : t) = Replica_id.id_bytes + 8 + E.byte_size e
 
+    let codec =
+      Crdt_wire.Codec.pair
+        (Crdt_wire.Codec.pair Crdt_wire.Codec.varint Crdt_wire.Codec.varint)
+        E.codec
+
     let pp ppf (((r, s), e) : t) =
       Format.fprintf ppf "%d.%d:%a" r s E.pp e
   end
@@ -101,6 +106,18 @@ end = struct
 
   let op_weight = function Add _ | Remove _ -> 1
   let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
+
+  let op_codec =
+    let open Crdt_wire.Codec in
+    union ~name:"aw_set_op"
+      [
+        case 0 E.codec
+          (function Add e -> Some e | Remove _ -> None)
+          (fun e -> Add e);
+        case 1 E.codec
+          (function Remove e -> Some e | Add _ -> None)
+          (fun e -> Remove e);
+      ]
 
   let pp_op ppf = function
     | Add e -> Format.fprintf ppf "add(%a)" E.pp e

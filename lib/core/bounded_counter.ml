@@ -27,6 +27,10 @@ module Edge_key = struct
 
   let compare = compare
   let byte_size _ = 2 * Replica_id.id_bytes
+
+  let codec =
+    Crdt_wire.Codec.pair Crdt_wire.Codec.varint Crdt_wire.Codec.varint
+
   let pp ppf (i, j) = Format.fprintf ppf "%d→%d" i j
 end
 
@@ -108,6 +112,23 @@ let op_weight = function Inc _ | Dec _ | Transfer _ -> 1
 let op_byte_size = function
   | Inc _ | Dec _ -> 8
   | Transfer _ -> 8 + Replica_id.id_bytes
+
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"bounded_counter_op"
+    [
+      case 0 int
+        (function Inc n -> Some n | Dec _ | Transfer _ -> None)
+        (fun n -> Inc n);
+      case 1 int
+        (function Dec n -> Some n | Inc _ | Transfer _ -> None)
+        (fun n -> Dec n);
+      case 2 (pair int Replica_id.codec)
+        (function
+          | Transfer { amount; target } -> Some (amount, target)
+          | Inc _ | Dec _ -> None)
+        (fun (amount, target) -> Transfer { amount; target });
+    ]
 
 let pp_op ppf = function
   | Inc n -> Format.fprintf ppf "inc(%d)" n

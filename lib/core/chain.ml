@@ -12,6 +12,7 @@ module type ORDERED_WITH_BOTTOM = sig
   val compare : t -> t -> int
   val bottom : t
   val byte_size : t -> int
+  val codec : t Crdt_wire.Codec.t
   val pp : Format.formatter -> t -> unit
 end
 
@@ -34,6 +35,7 @@ module Make_max (O : ORDERED_WITH_BOTTOM) :
   (* Every non-⊥ element of a chain is irreducible, so Δ(a,b) is either
      all of [a] or nothing. *)
   let delta a b = if leq a b then bottom else a
+  let codec = O.codec
   let pp = O.pp
 end
 
@@ -45,6 +47,7 @@ module Max_int = Make_max (struct
   let compare = Int.compare
   let bottom = 0
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
   let pp ppf = Format.fprintf ppf "%d"
 end)
 
@@ -57,6 +60,7 @@ module Max_string = Make_max (struct
   let compare = String.compare
   let bottom = ""
   let byte_size = String.length
+  let codec = Crdt_wire.Codec.string
   let pp ppf = Format.fprintf ppf "%S"
 end)
 
@@ -67,5 +71,6 @@ module Bool_or = Make_max (struct
   let compare = Bool.compare
   let bottom = false
   let byte_size _ = 1
+  let codec = Crdt_wire.Codec.bool
   let pp = Format.pp_print_bool
 end)

@@ -25,6 +25,18 @@ let delta_mutate op i x =
 let op_weight _ = 1
 let op_byte_size _ = 9
 
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"epoch_flag_op"
+    [
+      case 0 unit
+        (function Enable -> Some () | Disable -> None)
+        (fun () -> Enable);
+      case 1 unit
+        (function Disable -> Some () | Enable -> None)
+        (fun () -> Disable);
+    ]
+
 let pp_op ppf = function
   | Enable -> Format.pp_print_string ppf "enable"
   | Disable -> Format.pp_print_string ppf "disable"

@@ -32,6 +32,10 @@ let delta_mutate op i p =
 
 let op_weight (Inc _) = 1
 let op_byte_size (Inc _) = 8
+
+let op_codec =
+  Crdt_wire.Codec.conv (fun (Inc n) -> n) (fun n -> Inc n) Crdt_wire.Codec.int
+
 let pp_op ppf (Inc n) = Format.fprintf ppf "inc(%d)" n
 
 (** Convenience mutators used by examples. *)

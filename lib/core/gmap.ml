@@ -38,6 +38,12 @@ end = struct
   let op_weight (Apply (_, vop)) = V.op_weight vop
   let op_byte_size (Apply (k, vop)) = K.byte_size k + V.op_byte_size vop
 
+  let op_codec =
+    Crdt_wire.Codec.conv
+      (fun (Apply (k, vop)) -> (k, vop))
+      (fun (k, vop) -> Apply (k, vop))
+      (Crdt_wire.Codec.pair K.codec V.op_codec)
+
   let pp_op ppf (Apply (k, vop)) =
     Format.fprintf ppf "@[<1>%a.%a@]" K.pp k V.pp_op vop
 
@@ -52,6 +58,7 @@ module Int_key = struct
 
   let compare = Int.compare
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
   let pp ppf = Format.fprintf ppf "%d"
 end
 
@@ -61,6 +68,7 @@ module String_key = struct
 
   let compare = String.compare
   let byte_size = String.length
+  let codec = Crdt_wire.Codec.string
   let pp ppf = Format.fprintf ppf "%S"
 end
 

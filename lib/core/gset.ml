@@ -32,6 +32,7 @@ end = struct
   let delta_mutate e _i s = if P.mem e s then P.bottom else P.singleton e
   let op_weight _ = 1
   let op_byte_size = E.byte_size
+  let op_codec = E.codec
   let pp_op = E.pp
 
   let add e i s = mutate e i s

@@ -40,7 +40,18 @@ module type LATTICE = sig
 
   val byte_size : t -> int
   (** Estimated wire size in bytes (replica identifiers count 20 B as in
-      Fig. 9, integers 8 B, strings their length). *)
+      Fig. 9, integers 8 B, strings their length).  The exact encoded
+      size is [Crdt_wire.Codec.encoded_size codec x]; the estimate is
+      kept for the paper's Fig. 9 accounting convention and is
+      law-tested to stay within a documented constant envelope of the
+      exact size (DESIGN.md §6). *)
+
+  val codec : t Crdt_wire.Codec.t
+  (** Binary wire codec for states, built by composition (DESIGN.md §6).
+      Decoding is total: [Error] on truncated/corrupt input, never an
+      exception.  Decoded values are canonical — caches rebuilt, bottom
+      map entries dropped, antichains re-maximalized — so
+      [decode (encode x) = Ok x] up to {!equal}/{!compare}. *)
 
   val pp : Format.formatter -> t -> unit
   (** Pretty-printer for debugging and example output. *)
@@ -89,6 +100,7 @@ module type POSET = sig
   val compare : t -> t -> int
   val weight : t -> int
   val byte_size : t -> int
+  val codec : t Crdt_wire.Codec.t
   val pp : Format.formatter -> t -> unit
 end
 
@@ -116,7 +128,12 @@ module type CRDT = sig
       shipped by operation-based synchronization (usually 1). *)
 
   val op_byte_size : op -> int
-  (** Wire size of the operation in bytes. *)
+  (** Estimated wire size of the operation in bytes (same conventions
+      as {!LATTICE.byte_size}). *)
+
+  val op_codec : op Crdt_wire.Codec.t
+  (** Binary wire codec for operations, used by operation-based
+      synchronization.  Same totality contract as {!LATTICE.codec}. *)
 
   val pp_op : Format.formatter -> op -> unit
 end

@@ -65,5 +65,6 @@ module Make (C : Lattice_intf.CHAIN) (A : Lattice_intf.DECOMPOSABLE) :
       | n when n > 0 -> x
       | _ -> bottom
 
+  let codec = Crdt_wire.Codec.pair C.codec A.codec
   let pp ppf (c, a) = Format.fprintf ppf "@[<1>⟨%a;@ %a⟩@]" C.pp c A.pp a
 end

@@ -78,6 +78,18 @@ end = struct
         if B.is_bottom d then bottom else Right d
     | Right b1, Left _ -> Right b1
 
+  let codec =
+    let open Crdt_wire.Codec in
+    union ~name:"linear_sum"
+      [
+        case 0 A.codec
+          (function Left a -> Some a | Right _ -> None)
+          (fun a -> Left a);
+        case 1 B.codec
+          (function Right b -> Some b | Left _ -> None)
+          (fun b -> Right b);
+      ]
+
   let pp ppf = function
     | Left a -> Format.fprintf ppf "Left %a" A.pp a
     | Right b -> Format.fprintf ppf "Right %a" B.pp b

@@ -20,6 +20,13 @@ let delta_mutate op i x =
 
 let op_weight (Write _) = 1
 let op_byte_size (Write s) = 8 + String.length s
+
+let op_codec =
+  Crdt_wire.Codec.conv
+    (fun (Write s) -> s)
+    (fun s -> Write s)
+    Crdt_wire.Codec.string
+
 let pp_op ppf (Write s) = Format.fprintf ppf "write(%S)" s
 
 let write s i x = mutate (Write s) i x

@@ -24,6 +24,7 @@ module type KEY = sig
 
   val compare : t -> t -> int
   val byte_size : t -> int
+  val codec : t Crdt_wire.Codec.t
   val pp : Format.formatter -> t -> unit
 end
 
@@ -240,4 +241,12 @@ end = struct
   let keys t = List.map fst (M.bindings t.m)
   let fold f t acc = M.fold f t.m acc
   let of_list l = List.fold_left (fun t (k, v) -> set k v t) bottom l
+
+  (* Encoded as the sorted binding list.  Decoding goes through
+     [of_list]/[set], which rebuilds the cached sizes and drops any
+     ⊥-bound key, so the no-⊥-binding invariant holds even for corrupt
+     input that encodes a bottom value. *)
+  let codec =
+    Crdt_wire.Codec.conv bindings of_list
+      (Crdt_wire.Codec.list (Crdt_wire.Codec.pair K.codec V.codec))
 end

@@ -25,6 +25,17 @@ module Version_vector = struct
 
   let byte_size (v : t) = M.cardinal v * (Replica_id.id_bytes + 8)
 
+  (* Entries with count 0 are indistinguishable from absence ([get]
+     defaults to 0), so decoding drops them to keep a canonical form. *)
+  let codec : t Crdt_wire.Codec.t =
+    Crdt_wire.Codec.conv M.bindings
+      (fun l ->
+        List.fold_left
+          (fun v (i, n) -> if n = 0 then v else M.add i n v)
+          M.empty l)
+      (Crdt_wire.Codec.list
+         (Crdt_wire.Codec.pair Crdt_wire.Codec.varint Crdt_wire.Codec.varint))
+
   let pp ppf (v : t) =
     Format.fprintf ppf "@[<1>[%a]@]"
       (Format.pp_print_list
@@ -49,6 +60,12 @@ module Tagged = struct
 
   let weight _ = 1
   let byte_size t = Version_vector.byte_size t.vv + String.length t.value
+
+  let codec =
+    Crdt_wire.Codec.conv
+      (fun t -> (t.vv, t.value))
+      (fun (vv, value) -> { vv; value })
+      (Crdt_wire.Codec.pair Version_vector.codec Crdt_wire.Codec.string)
 
   let pp ppf t =
     Format.fprintf ppf "@[<1>%a@%a@]" Format.pp_print_string t.value
@@ -78,6 +95,13 @@ let delta_mutate (Write s) i reg =
 
 let op_weight (Write _) = 1
 let op_byte_size (Write s) = String.length s
+
+let op_codec =
+  Crdt_wire.Codec.conv
+    (fun (Write s) -> s)
+    (fun s -> Write s)
+    Crdt_wire.Codec.string
+
 let pp_op ppf (Write s) = Format.fprintf ppf "write(%S)" s
 
 let write s i reg = mutate (Write s) i reg

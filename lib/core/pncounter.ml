@@ -35,6 +35,14 @@ let delta_mutate op i p =
 let op_weight = function Inc _ | Dec _ -> 1
 let op_byte_size = function Inc _ | Dec _ -> 8
 
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"pncounter_op"
+    [
+      case 0 int (function Inc n -> Some n | Dec _ -> None) (fun n -> Inc n);
+      case 1 int (function Dec n -> Some n | Inc _ -> None) (fun n -> Dec n);
+    ]
+
 let pp_op ppf = function
   | Inc n -> Format.fprintf ppf "inc(%d)" n
   | Dec n -> Format.fprintf ppf "dec(%d)" n

@@ -12,6 +12,7 @@ module type ELT = sig
 
   val compare : t -> t -> int
   val byte_size : t -> int
+  val codec : t Crdt_wire.Codec.t
   val pp : Format.formatter -> t -> unit
 end
 
@@ -46,6 +47,13 @@ end = struct
      set difference — no singleton allocation at all. *)
   let delta = S.diff
 
+  (* Encoded as the sorted element list; decoding re-canonicalizes via
+     [S.of_list], so duplicate or mis-ordered elements in corrupt input
+     still yield a valid set. *)
+  let codec =
+    Crdt_wire.Codec.conv S.elements S.of_list
+      (Crdt_wire.Codec.list E.codec)
+
   let pp ppf s =
     Format.fprintf ppf "@[<1>{%a}@]"
       (Format.pp_print_list
@@ -69,6 +77,7 @@ module Int_elt = struct
 
   let compare = Int.compare
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
   let pp ppf = Format.fprintf ppf "%d"
 end
 
@@ -77,5 +86,6 @@ module String_elt = struct
 
   let compare = String.compare
   let byte_size = String.length
+  let codec = Crdt_wire.Codec.string
   let pp ppf = Format.fprintf ppf "%S"
 end

@@ -20,6 +20,18 @@ let hash i = i
 let id_bytes = 20
 let byte_size (_ : t) = id_bytes
 
+(* On the actual wire an identifier is a varint, not the 20-byte
+   accounting convention above; the estimate-vs-exact law test bounds
+   the gap.  Identifiers are non-negative, so a negative decoded value
+   is corrupt input, reported as an error rather than through
+   [of_int]'s exception. *)
+let codec =
+  Crdt_wire.Codec.conv_partial to_int
+    (fun n ->
+      if n < 0 then Error (Crdt_wire.Codec.Malformed "negative replica id")
+      else Ok n)
+    Crdt_wire.Codec.varint
+
 let pp ppf i = Format.fprintf ppf "r%d" i
 
 module Map = Map.Make (Int)

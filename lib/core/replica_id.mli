@@ -22,6 +22,10 @@ val byte_size : t -> int
 (** [byte_size _ = id_bytes]; shaped as a function for use as a map
     key module. *)
 
+val codec : t Crdt_wire.Codec.t
+(** Exact wire codec: identifiers travel as varints, not as the 20-byte
+    estimate of {!id_bytes}. *)
+
 val pp : Format.formatter -> t -> unit
 
 module Map : Map.S with type key = int

@@ -33,6 +33,16 @@ let delta_mutate op i ((epoch, p) : t) : t =
 let op_weight = function Inc _ | Reset -> 1
 let op_byte_size = function Inc _ -> 8 | Reset -> 1
 
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"resettable_counter_op"
+    [
+      case 0 int (function Inc n -> Some n | Reset -> None) (fun n -> Inc n);
+      case 1 unit
+        (function Reset -> Some () | Inc _ -> None)
+        (fun () -> Reset);
+    ]
+
 let pp_op ppf = function
   | Inc n -> Format.fprintf ppf "inc(%d)" n
   | Reset -> Format.pp_print_string ppf "reset"

@@ -41,6 +41,18 @@ end = struct
   let op_weight _ = 1
   let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
 
+  let op_codec =
+    let open Crdt_wire.Codec in
+    union ~name:"two_pset_op"
+      [
+        case 0 E.codec
+          (function Add e -> Some e | Remove _ -> None)
+          (fun e -> Add e);
+        case 1 E.codec
+          (function Remove e -> Some e | Add _ -> None)
+          (fun e -> Remove e);
+      ]
+
   let pp_op ppf = function
     | Add e -> Format.fprintf ppf "add(%a)" E.pp e
     | Remove e -> Format.fprintf ppf "remove(%a)" E.pp e

@@ -22,6 +22,16 @@ let delta_mutate op i v =
 let op_weight _ = 1
 let op_byte_size _ = 8
 
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"version_op"
+    [
+      case 0 unit (function Bump -> Some () | Raise_to _ -> None) (fun () -> Bump);
+      case 1 int
+        (function Raise_to n -> Some n | Bump -> None)
+        (fun n -> Raise_to n);
+    ]
+
 let pp_op ppf = function
   | Bump -> Format.pp_print_string ppf "bump"
   | Raise_to n -> Format.fprintf ppf "raise_to(%d)" n

@@ -1,0 +1,57 @@
+(** Transport addresses for the networked runtime.
+
+    Two forms are accepted on the command line:
+    - ["HOST:PORT"] — a TCP endpoint ([127.0.0.1:7001]);
+    - ["unix:PATH"] (or any string containing a ['/']) — a Unix-domain
+      socket path, the form the integration tests use because it needs
+      no free-port negotiation. *)
+
+type t =
+  | Tcp of string * int  (** host, port. *)
+  | Unix_sock of string  (** filesystem path. *)
+
+let to_string = function
+  | Tcp (h, p) -> Printf.sprintf "%s:%d" h p
+  | Unix_sock p -> "unix:" ^ p
+
+let parse s =
+  let unix_prefix = "unix:" in
+  let plen = String.length unix_prefix in
+  if String.length s > plen && String.sub s 0 plen = unix_prefix then
+    Ok (Unix_sock (String.sub s plen (String.length s - plen)))
+  else if String.contains s '/' then Ok (Unix_sock s)
+  else
+    match String.rindex_opt s ':' with
+    | None ->
+        Error (Printf.sprintf "address %S: expected HOST:PORT or unix:PATH" s)
+    | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p > 0 && p < 65536 ->
+            Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+        | _ -> Error (Printf.sprintf "address %S: bad port %S" s port))
+
+let parse_exn s =
+  match parse s with Ok a -> a | Error msg -> invalid_arg msg
+
+let domain = function
+  | Tcp _ -> Unix.PF_INET
+  | Unix_sock _ -> Unix.PF_UNIX
+
+let to_sockaddr = function
+  | Unix_sock p -> Unix.ADDR_UNIX p
+  | Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+      in
+      Unix.ADDR_INET (inet, port)
+
+(** Remove a stale Unix-socket file before binding; no-op for TCP. *)
+let cleanup = function
+  | Tcp _ -> ()
+  | Unix_sock p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())

@@ -1,0 +1,81 @@
+(** A framed connection over a socket file descriptor.
+
+    Writing emits complete {!Crdt_wire.Frame} frames; reading feeds
+    whatever the socket yields into an incremental {!Crdt_wire.Frame.feed}
+    and surfaces every complete frame.  Connections are used
+    unidirectionally by the runtime: the dialing side writes, the
+    accepting side reads — so a node's outbound traffic to peer [j]
+    always travels on the connection it dialed to [j]. *)
+
+type t = {
+  fd : Unix.file_descr;
+  feed : Crdt_wire.Frame.feed;
+  scratch : Bytes.t;
+  mutable alive : bool;
+}
+
+let read_chunk = 65536
+
+let create ?max_payload fd =
+  {
+    fd;
+    feed = Crdt_wire.Frame.feed ?max_payload ();
+    scratch = Bytes.create read_chunk;
+    alive = true;
+  }
+
+let fd t = t.fd
+let alive t = t.alive
+
+let close t =
+  if t.alive then begin
+    t.alive <- false;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(** Send one frame; [Error] on a broken pipe or reset peer (the
+    connection is closed and marked dead). *)
+let send t ~kind payload =
+  if not t.alive then Error "connection closed"
+  else
+    let bytes = Crdt_wire.Frame.encode ~kind payload in
+    try
+      write_all t.fd bytes 0 (String.length bytes);
+      Ok ()
+    with Unix.Unix_error (e, _, _) ->
+      close t;
+      Error (Unix.error_message e)
+
+(** Read once from the socket (call after [select] reports the fd
+    readable) and return every complete frame now buffered.
+    [Ok []] means no complete frame yet; [Error `Closed] is a clean
+    peer shutdown; [Error (`Bad e)] is a framing violation — both
+    close the connection. *)
+let recv t =
+  if not t.alive then Error `Closed
+  else
+    match Unix.read t.fd t.scratch 0 read_chunk with
+    | 0 ->
+        close t;
+        Error `Closed
+    | n -> (
+        Crdt_wire.Frame.push t.feed (Bytes.sub_string t.scratch 0 n);
+        let rec drain acc =
+          match Crdt_wire.Frame.pop t.feed with
+          | Ok (Some frame) -> drain (frame :: acc)
+          | Ok None -> Ok (List.rev acc)
+          | Error e ->
+              close t;
+              Error (`Bad e)
+        in
+        drain [])
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        close t;
+        Error `Closed
+    | exception Unix.Unix_error (Unix.EAGAIN, _, _) -> Ok []

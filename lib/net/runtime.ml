@@ -1,0 +1,266 @@
+(** Event-loop peer runtime: runs one replica of a {!Crdt_proto}
+    protocol over real sockets.
+
+    Each process listens on its own address and dials every peer; a
+    dialed connection carries traffic in one direction only (dialer →
+    acceptor), so a full link between two nodes is a pair of sockets.
+    The first frame on a dialed connection is a [Hello] carrying the
+    dialer's node id, which is how the accepting side attributes
+    subsequent protocol messages to a source replica.
+
+    The loop is a [select] over the listening socket and all inbound
+    connections, with a periodic tick (the protocol's synchronization
+    interval): each tick applies the workload operations due, runs
+    [P.tick] and ships the outbound messages; inbound frames are decoded
+    and dispatched through [P.handle], whose replies are sent
+    immediately.
+
+    {2 Termination}
+
+    Replicas stop by mutual agreement rather than a wall clock: once a
+    node has applied all its operations and observed [quiet_ticks]
+    consecutive ticks with no traffic in either direction (its δ-buffers
+    are drained and acknowledged), it broadcasts a [Done] announcement
+    but keeps serving.  It exits only when it is quiet {e and} has
+    received [Done] from every peer — at which point no peer can have
+    anything left to send it.  Send failures after a peer's [Done] are
+    expected (the peer may already have exited) and ignored.
+    [max_ticks] bounds the run as a failsafe. *)
+
+(* Frame kinds on the wire (the Frame layer's dispatch byte). *)
+let kind_hello = 0
+let kind_message = 1
+let kind_done = 2
+
+type config = {
+  id : int;  (** this replica's node id. *)
+  listen : Addr.t;
+  peers : (int * Addr.t) list;  (** peer node id ↦ its listen address. *)
+  total : int;  (** total replica count (for [P.init]). *)
+  tick_ms : int;  (** synchronization interval. *)
+  ops_ticks : int;  (** ticks during which operations are generated. *)
+  quiet_ticks : int;  (** quiet ticks required before announcing Done. *)
+  max_ticks : int;  (** hard bound on the run. *)
+  dial_timeout_s : float;  (** how long to retry dialing each peer. *)
+  verbose : bool;
+}
+
+let default_config ~id ~listen ~peers ~total =
+  {
+    id;
+    listen;
+    peers;
+    total;
+    tick_ms = 20;
+    ops_ticks = 0;
+    quiet_ticks = 5;
+    max_ticks = 5000;
+    dial_timeout_s = 10.;
+    verbose = false;
+  }
+
+let id_payload id =
+  Crdt_wire.Codec.encode_to_string Crdt_wire.Codec.varint id
+
+module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
+  type state = {
+    cfg : config;
+    mutable node : P.node;
+    out : (int, Conn.t) Hashtbl.t;  (** peer id ↦ dialed connection. *)
+    mutable inbound : (Conn.t * int option ref) list;
+        (** accepted connections with the peer id learned from Hello. *)
+    peer_done : (int, unit) Hashtbl.t;
+    mutable activity : bool;  (** traffic since the last tick. *)
+    mutable quiet : int;
+    mutable done_sent : bool;
+  }
+
+  let log st fmt =
+    if st.cfg.verbose then
+      Printf.eprintf ("node %d: " ^^ fmt ^^ "\n%!") st.cfg.id
+    else Printf.ifprintf stderr fmt
+
+  let dial st (j, addr) =
+    let deadline = Unix.gettimeofday () +. st.cfg.dial_timeout_s in
+    let rec attempt () =
+      let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Addr.to_sockaddr addr) with
+      | () -> fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | ETIMEDOUT), _, _)
+        when Unix.gettimeofday () < deadline ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.05;
+          attempt ()
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    let conn = Conn.create (attempt ()) in
+    (match Conn.send conn ~kind:kind_hello (id_payload st.cfg.id) with
+    | Ok () -> ()
+    | Error msg -> failwith (Printf.sprintf "hello to peer %d failed: %s" j msg));
+    Hashtbl.replace st.out j conn;
+    log st "connected to peer %d at %s" j (Addr.to_string addr)
+
+  (* Ship one protocol message to [dest].  A dead connection after the
+     peer announced Done is the expected shutdown race; before that it
+     is a hard error. *)
+  let ship st dest msg =
+    match Hashtbl.find_opt st.out dest with
+    | None -> failwith (Printf.sprintf "no connection to peer %d" dest)
+    | Some conn -> (
+        let payload = Crdt_wire.Codec.encode_to_string P.message_codec msg in
+        match Conn.send conn ~kind:kind_message payload with
+        | Ok () -> ()
+        | Error m when Hashtbl.mem st.peer_done dest ->
+            log st "send to finished peer %d failed (%s); ignored" dest m
+        | Error m ->
+            failwith (Printf.sprintf "send to peer %d failed: %s" dest m))
+
+  let handle_message st ~src payload =
+    match Crdt_wire.Codec.decode_string P.message_codec payload with
+    | Error e ->
+        failwith
+          (Printf.sprintf "bad message from peer %d: %s" src
+             (Crdt_wire.Codec.error_to_string e))
+    | Ok msg ->
+        st.activity <- true;
+        let node, replies = P.handle st.node ~src msg in
+        st.node <- node;
+        List.iter (fun (dest, reply) -> ship st dest reply) replies
+
+  let decode_id payload =
+    match Crdt_wire.Codec.decode_string Crdt_wire.Codec.varint payload with
+    | Ok id -> id
+    | Error e ->
+        failwith ("bad peer id payload: " ^ Crdt_wire.Codec.error_to_string e)
+
+  let handle_frame st peer_ref (kind, payload) =
+    if kind = kind_hello then peer_ref := Some (decode_id payload)
+    else if kind = kind_done then begin
+      let j = decode_id payload in
+      log st "peer %d done" j;
+      Hashtbl.replace st.peer_done j ()
+    end
+    else if kind = kind_message then
+      match !peer_ref with
+      | Some src -> handle_message st ~src payload
+      | None -> failwith "protocol message before Hello"
+    else failwith (Printf.sprintf "unknown frame kind %d" kind)
+
+  let service_inbound st conn peer_ref =
+    match Conn.recv conn with
+    | Ok frames -> List.iter (handle_frame st peer_ref) frames
+    | Error `Closed ->
+        (* Peers close their dialed connections when they exit; their
+           Done announcement has already been processed by then. *)
+        log st "inbound connection closed"
+    | Error (`Bad e) ->
+        failwith ("framing error: " ^ Crdt_wire.Codec.error_to_string e)
+
+  let tick st ~n ~ops =
+    if n < st.cfg.ops_ticks then
+      List.iter
+        (fun op -> st.node <- P.local_update st.node op)
+        (ops ~tick:n);
+    let node, msgs = P.tick st.node in
+    st.node <- node;
+    List.iter (fun (dest, msg) -> ship st dest msg) msgs;
+    let busy = st.activity || msgs <> [] || n < st.cfg.ops_ticks in
+    st.activity <- false;
+    st.quiet <- (if busy then 0 else st.quiet + 1);
+    if (not st.done_sent) && st.quiet >= st.cfg.quiet_ticks then begin
+      st.done_sent <- true;
+      log st "quiet for %d ticks; announcing done" st.quiet;
+      Hashtbl.iter
+        (fun j conn ->
+          match Conn.send conn ~kind:kind_done (id_payload st.cfg.id) with
+          | Ok () -> ()
+          | Error m -> log st "done to peer %d failed (%s)" j m)
+        st.out
+    end
+
+  let finished st =
+    st.done_sent
+    && st.quiet >= st.cfg.quiet_ticks
+    && List.for_all (fun (j, _) -> Hashtbl.mem st.peer_done j) st.cfg.peers
+
+  (** Run the replica to completion and return its final CRDT state.
+      [ops ~tick] lists the operations this replica applies at tick
+      [tick] (consulted for ticks [0 .. ops_ticks)). *)
+  let serve (cfg : config) ~(ops : tick:int -> P.op list) : P.crdt =
+    (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+    | _ -> ()
+    | exception (Invalid_argument _ | Sys_error _) -> ());
+    let neighbors = List.map fst cfg.peers in
+    let st =
+      {
+        cfg;
+        node = P.init ~id:cfg.id ~neighbors ~total:cfg.total;
+        out = Hashtbl.create (List.length cfg.peers);
+        inbound = [];
+        peer_done = Hashtbl.create (List.length cfg.peers);
+        activity = false;
+        quiet = 0;
+        done_sent = false;
+      }
+    in
+    Addr.cleanup cfg.listen;
+    let listener = Unix.socket (Addr.domain cfg.listen) Unix.SOCK_STREAM 0 in
+    (match cfg.listen with
+    | Addr.Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true
+    | Addr.Unix_sock _ -> ());
+    Unix.bind listener (Addr.to_sockaddr cfg.listen);
+    Unix.listen listener 64;
+    log st "listening on %s" (Addr.to_string cfg.listen);
+    (* Dial-all barrier: every peer must be reachable before the first
+       tick, so no protocol message is ever emitted into the void. *)
+    List.iter (dial st) cfg.peers;
+    let tick_s = float_of_int cfg.tick_ms /. 1000. in
+    let next_tick = ref (Unix.gettimeofday () +. tick_s) in
+    let n = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let timeout = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
+      let readable =
+        let fds =
+          listener
+          :: List.filter_map
+               (fun (c, _) -> if Conn.alive c then Some (Conn.fd c) else None)
+               st.inbound
+        in
+        match Unix.select fds [] [] timeout with
+        | r, _, _ -> r
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+      in
+      List.iter
+        (fun fd ->
+          if fd == listener then begin
+            let peer_fd, _ = Unix.accept listener in
+            st.inbound <- (Conn.create peer_fd, ref None) :: st.inbound
+          end
+          else
+            match
+              List.find_opt (fun (c, _) -> Conn.fd c == fd) st.inbound
+            with
+            | Some (conn, peer_ref) -> service_inbound st conn peer_ref
+            | None -> ())
+        readable;
+      if Unix.gettimeofday () >= !next_tick then begin
+        tick st ~n:!n ~ops;
+        incr n;
+        next_tick := !next_tick +. tick_s;
+        if finished st then result := Some (P.state st.node)
+        else if !n >= cfg.max_ticks then begin
+          Printf.eprintf "node %d: max_ticks (%d) reached before shutdown\n%!"
+            cfg.id cfg.max_ticks;
+          result := Some (P.state st.node)
+        end
+      end
+    done;
+    Hashtbl.iter (fun _ c -> Conn.close c) st.out;
+    List.iter (fun (c, _) -> Conn.close c) st.inbound;
+    (try Unix.close listener with Unix.Unix_error _ -> ());
+    Addr.cleanup cfg.listen;
+    Option.get !result
+end

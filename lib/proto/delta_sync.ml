@@ -385,6 +385,31 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     | Ack _ -> 8
     | SyncReq _ | SyncResp _ -> 8
 
+  (* Cached weight/bytes are recomputed at decode (they are a pure
+     function of the group), so they never travel. *)
+  let message_codec =
+    let open Crdt_wire.Codec in
+    union ~name:"delta_sync_message"
+      [
+        case 0 (pair C.codec varint)
+          (function
+            | Delta { group; seq; _ } -> Some (group, seq) | _ -> None)
+          (fun (group, seq) -> mk_delta group seq);
+        case 1 varint
+          (function Ack { seq } -> Some seq | _ -> None)
+          (fun seq -> Ack { seq });
+        case 2 C.codec
+          (function SyncReq { state; _ } -> Some state | _ -> None)
+          mk_syncreq;
+        case 3 C.codec
+          (function SyncResp { group; _ } -> Some group | _ -> None)
+          mk_syncresp;
+      ]
+
+  let message_wire_bytes m =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size message_codec m)
+
   (* The buffer [Bᵢ]: seq-tagged entries (ack), per-origin groups (BP),
      or the single joined pending group (classic/RR, where origins are
      never consulted). *)

@@ -211,6 +211,31 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     | Subtree { path; hashes } -> (8 * List.length hashes) + List.length path
     | Bucket _ -> 8
 
+  (* Digest hashes can be any int (the inner-node mix overflows), so
+     they travel zigzag-encoded; path components and bucket indices are
+     small non-negative ints. *)
+  let message_codec =
+    let open Crdt_wire.Codec in
+    union ~name:"merkle_message"
+      [
+        case 0 int (function Root h -> Some h | _ -> None) (fun h -> Root h);
+        case 1
+          (pair (list varint) (list int))
+          (function
+            | Subtree { path; hashes } -> Some (path, hashes) | _ -> None)
+          (fun (path, hashes) -> Subtree { path; hashes });
+        case 2
+          (triple varint (list C.codec) bool)
+          (function
+            | Bucket { index; elements; reply } -> Some (index, elements, reply)
+            | _ -> None)
+          (fun (index, elements, reply) -> Bucket { index; elements; reply });
+      ]
+
+  let message_wire_bytes m =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size message_codec m)
+
   let memory_weight n = C.weight n.x
   let memory_bytes n = C.byte_size n.x
 

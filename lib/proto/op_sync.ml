@@ -199,6 +199,20 @@ module Make (C : Protocol_intf.CRDT) :
         acc + Vclock.byte_size t.tag + Crdt_core.Replica_id.id_bytes + 8)
       0 batch
 
+  let message_codec =
+    let open Crdt_wire.Codec in
+    let tagged_codec =
+      conv
+        (fun t -> ((t.origin, t.seq), (t.tag, t.operation)))
+        (fun ((origin, seq), (tag, operation)) -> { origin; seq; tag; operation })
+        (pair (pair varint varint) (pair Vclock.codec C.op_codec))
+    in
+    list tagged_codec
+
+  let message_wire_bytes m =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size message_codec m)
+
   let buffered_ops n =
     Opmap.fold (fun _ e acc -> acc + C.op_weight e.msg.operation) n.tbuf 0
 

@@ -97,6 +97,16 @@ module type PROTOCOL = sig
   val payload_bytes : message -> int
   val metadata_bytes : message -> int
 
+  val message_codec : message Crdt_wire.Codec.t
+  (** Binary wire codec for protocol messages, built from the CRDT's
+      composition codec plus the protocol's own framing (DESIGN.md §6).
+      Total: decoding returns [Error] on truncated/corrupt input. *)
+
+  val message_wire_bytes : message -> int
+  (** Exact number of bytes the message occupies on the wire, framed
+      (header + varint length prefix + encoded payload) — the exact
+      counterpart of the [payload_bytes + metadata_bytes] estimate. *)
+
   val memory_weight : node -> int
   (** Elements resident at the node: CRDT state plus buffered deltas/ops
       plus stored metadata entries (the metric of Fig. 10). *)

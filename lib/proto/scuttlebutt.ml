@@ -257,6 +257,30 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
             knowledge 0
     | Pairs pairs -> List.length pairs * Vclock.entry_bytes
 
+  let message_codec =
+    let open Crdt_wire.Codec in
+    let knowledge_codec =
+      conv Im.bindings
+        (fun l -> List.fold_left (fun m (k, v) -> Im.add k v m) Im.empty l)
+        (list (pair varint Vclock.codec))
+    in
+    union ~name:"scuttlebutt_message"
+      [
+        case 0 (pair Vclock.codec knowledge_codec)
+          (function
+            | Digest { summary; knowledge } -> Some (summary, knowledge)
+            | Pairs _ -> None)
+          (fun (summary, knowledge) -> Digest { summary; knowledge });
+        case 1
+          (list (triple varint varint C.codec))
+          (function Pairs pairs -> Some pairs | Digest _ -> None)
+          (fun pairs -> Pairs pairs);
+      ]
+
+  let message_wire_bytes m =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size message_codec m)
+
   let stored_deltas n =
     Im.fold
       (fun _ m acc -> Im.fold (fun _ d acc -> C.weight d + acc) m acc)

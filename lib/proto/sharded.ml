@@ -20,6 +20,7 @@ module type KEY = sig
 
   val compare : t -> t -> int
   val byte_size : t -> int
+  val codec : t Crdt_wire.Codec.t
 end
 
 module Make
@@ -135,6 +136,13 @@ end = struct
     List.fold_left
       (fun acc (k, m) -> acc + K.byte_size k + P.metadata_bytes m)
       0 batch
+
+  let message_codec =
+    Crdt_wire.Codec.list (Crdt_wire.Codec.pair K.codec P.message_codec)
+
+  let message_wire_bytes batch =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size message_codec batch)
 
   let memory_weight n =
     Km.fold (fun _ o acc -> acc + P.memory_weight o) n.objects 0

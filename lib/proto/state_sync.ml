@@ -56,6 +56,11 @@ module Make (C : Protocol_intf.CRDT) :
   let metadata_weight _ = 0
   let payload_bytes d = C.byte_size d
   let metadata_bytes _ = 0
+  let message_codec = C.codec
+
+  let message_wire_bytes d =
+    Crdt_wire.Frame.framed_size
+      ~payload_len:(Crdt_wire.Codec.encoded_size C.codec d)
   let memory_weight n = C.weight n.x
   let memory_bytes n = C.byte_size n.x
   let metadata_memory_bytes _ = 0

@@ -36,6 +36,14 @@ let deliverable ~origin ~tag ~local =
 let entry_bytes = Crdt_core.Replica_id.id_bytes + 8
 let byte_size (v : t) = cardinal v * entry_bytes
 
+(* Decoding goes through [of_list]/[set], which drops zero entries —
+   indistinguishable from absence — so corrupt input still yields a
+   canonical clock. *)
+let codec : t Crdt_wire.Codec.t =
+  Crdt_wire.Codec.conv bindings of_list
+    (Crdt_wire.Codec.list
+       (Crdt_wire.Codec.pair Crdt_wire.Codec.varint Crdt_wire.Codec.varint))
+
 let pp ppf (v : t) =
   Format.fprintf ppf "@[<1>[%a]@]"
     (Format.pp_print_list

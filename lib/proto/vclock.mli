@@ -34,4 +34,9 @@ val entry_bytes : int
     (the accounting convention of Fig. 9). *)
 
 val byte_size : t -> int
+
+val codec : t Crdt_wire.Codec.t
+(** Exact wire codec: a list of (replica, count) varint pairs.  Decoding
+    drops zero entries, keeping clocks canonical. *)
+
 val pp : Format.formatter -> t -> unit

@@ -10,6 +10,7 @@ module Key = struct
 
   let compare = Int.compare
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
 end
 
 (** Sharded delta-based synchronization of the Retwis store under the

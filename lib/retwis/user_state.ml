@@ -61,6 +61,25 @@ let op_byte_size = function
   | Post { tweet_id; content } -> String.length tweet_id + String.length content
   | Timeline_add { tweet_id; _ } -> 8 + String.length tweet_id
 
+let op_codec =
+  let open Crdt_wire.Codec in
+  union ~name:"user_state_op"
+    [
+      case 0 int
+        (function Follow who -> Some who | Post _ | Timeline_add _ -> None)
+        (fun who -> Follow who);
+      case 1 (pair string string)
+        (function
+          | Post { tweet_id; content } -> Some (tweet_id, content)
+          | Follow _ | Timeline_add _ -> None)
+        (fun (tweet_id, content) -> Post { tweet_id; content });
+      case 2 (pair int string)
+        (function
+          | Timeline_add { timestamp; tweet_id } -> Some (timestamp, tweet_id)
+          | Follow _ | Post _ -> None)
+        (fun (timestamp, tweet_id) -> Timeline_add { timestamp; tweet_id });
+    ]
+
 let pp_op ppf = function
   | Follow who -> Format.fprintf ppf "follow(%d)" who
   | Post { tweet_id; _ } -> Format.fprintf ppf "post(%s)" tweet_id

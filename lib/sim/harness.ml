@@ -72,11 +72,11 @@ module Make (C : Protocol_intf.CRDT) = struct
     let name = P.protocol_name
     let caps = P.capabilities
 
-    let go ?faults ?quiesce_limit ?(domains = 1) ~topology ~rounds ~(ops : ops)
-        () =
+    let go ?faults ?quiesce_limit ?(domains = 1) ?bytes ~topology ~rounds
+        ~(ops : ops) () =
       let res =
-        R.run ?faults ?quiesce_limit ~domains ~equal:C.equal ~topology ~rounds
-          ~ops ()
+        R.run ?faults ?quiesce_limit ~domains ?bytes ~equal:C.equal ~topology
+          ~rounds ~ops ()
       in
       {
         protocol = P.protocol_name;
@@ -137,32 +137,40 @@ module Make (C : Protocol_intf.CRDT) = struct
       whose capabilities do not cover it make {!Runner.Make.run} raise —
       use {!mask_unsupported} first to drop them instead. *)
   let run ?(selection = all_protocols) ?faults ?quiesce_limit ?(domains = 1)
-      ~topology ~rounds ~(ops : ops) () =
+      ?bytes ~topology ~rounds ~(ops : ops) () =
     let maybe flag f acc = if flag then f () :: acc else acc in
     List.rev
       ([]
       |> maybe selection.state_based (fun () ->
-             State.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             State.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.delta_classic (fun () ->
-             Classic.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops
-               ())
+             Classic.go ?faults ?quiesce_limit ~domains ?bytes ~topology
+               ~rounds ~ops ())
       |> maybe selection.delta_bp (fun () ->
-             Bp.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             Bp.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.delta_rr (fun () ->
-             Rr.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             Rr.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.delta_bp_rr (fun () ->
-             BpRr.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             BpRr.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.delta_ack (fun () ->
-             Ack.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             Ack.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.scuttlebutt (fun () ->
-             Sb.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             Sb.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.scuttlebutt_gc (fun () ->
-             SbGc.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             SbGc.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.op_based (fun () ->
-             Op.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops ())
+             Op.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ())
       |> maybe selection.merkle (fun () ->
-             Merkle.go ?faults ?quiesce_limit ~domains ~topology ~rounds ~ops
-               ()))
+             Merkle.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
+               ~ops ()))
 
   (** Find the ratio baseline in a result list: BP+RR when present,
       otherwise its ack-mode variant (fault runs may mask plain BP+RR),

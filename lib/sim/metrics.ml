@@ -4,12 +4,24 @@
     and map entries); byte figures follow the paper's wire-size
     conventions (node id = 20 B, int = 8 B). *)
 
+(** How byte figures are attributed.  [Estimate] uses the protocols'
+    [payload_bytes]/[metadata_bytes] models (node id = 20 B, int = 8 B);
+    [Exact] additionally records the exact framed wire size of every
+    delivered message ([message_wire_bytes], i.e. what [lib/wire] would
+    put on a socket) in the [wire_bytes] counters. *)
+type accounting = Estimate | Exact
+
+let accounting_name = function Estimate -> "estimate" | Exact -> "exact"
+
 type round = {
   messages : int;  (** messages delivered this round. *)
   payload : int;  (** lattice elements shipped. *)
   metadata : int;  (** metadata units shipped. *)
   payload_bytes : int;
   metadata_bytes : int;
+  wire_bytes : int;
+      (** exact framed wire bytes of the messages delivered this round;
+          0 under [Estimate] accounting. *)
   memory_weight : int;  (** elements resident across all nodes after the round. *)
   memory_bytes : int;
   metadata_memory_bytes : int;
@@ -31,6 +43,7 @@ let empty_round =
     metadata = 0;
     payload_bytes = 0;
     metadata_bytes = 0;
+    wire_bytes = 0;
     memory_weight = 0;
     memory_bytes = 0;
     metadata_memory_bytes = 0;
@@ -47,6 +60,8 @@ type summary = {
   total_metadata : int;
   total_payload_bytes : int;
   total_metadata_bytes : int;
+  total_wire_bytes : int;
+      (** exact framed wire bytes over all rounds; 0 under [Estimate]. *)
   avg_memory_weight : float;  (** mean across rounds of system-wide resident elements. *)
   avg_memory_bytes : float;
   max_memory_weight : int;
@@ -68,6 +83,7 @@ let summarize (rounds : round array) : summary =
     total_metadata = fold (fun acc r -> acc + r.metadata) 0;
     total_payload_bytes = fold (fun acc r -> acc + r.payload_bytes) 0;
     total_metadata_bytes = fold (fun acc r -> acc + r.metadata_bytes) 0;
+    total_wire_bytes = fold (fun acc r -> acc + r.wire_bytes) 0;
     avg_memory_weight =
       float_of_int (fold (fun acc r -> acc + r.memory_weight) 0) /. fn;
     avg_memory_bytes =
@@ -85,6 +101,14 @@ let summarize (rounds : round array) : summary =
 let total_transmission s = s.total_payload + s.total_metadata
 
 let total_transmission_bytes s = s.total_payload_bytes + s.total_metadata_bytes
+
+(** The headline byte figure under the given accounting mode: exact
+    framed wire bytes when [Exact], the estimated payload + metadata
+    model otherwise. *)
+let transmission_bytes ~accounting s =
+  match accounting with
+  | Exact -> s.total_wire_bytes
+  | Estimate -> total_transmission_bytes s
 
 (** Metadata share of all transmitted bytes (Section V-B2). *)
 let metadata_fraction s =

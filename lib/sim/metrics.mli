@@ -4,12 +4,22 @@
     map entries); byte figures follow the paper's wire-size conventions
     (node id = 20 B, int = 8 B). *)
 
+type accounting = Estimate | Exact
+    (** How byte figures are attributed: [Estimate] uses the protocols'
+        byte models (node id = 20 B, int = 8 B); [Exact] additionally
+        records exact framed wire sizes in the [wire_bytes] counters. *)
+
+val accounting_name : accounting -> string
+
 type round = {
   messages : int;  (** messages delivered this round. *)
   payload : int;  (** lattice elements shipped. *)
   metadata : int;  (** metadata units shipped. *)
   payload_bytes : int;
   metadata_bytes : int;
+  wire_bytes : int;
+      (** exact framed wire bytes of the messages delivered this round;
+          0 under [Estimate] accounting. *)
   memory_weight : int;
       (** elements resident across all nodes after the round. *)
   memory_bytes : int;
@@ -34,6 +44,8 @@ type summary = {
   total_metadata : int;
   total_payload_bytes : int;
   total_metadata_bytes : int;
+  total_wire_bytes : int;
+      (** exact framed wire bytes over all rounds; 0 under [Estimate]. *)
   avg_memory_weight : float;
       (** mean across rounds of system-wide resident elements. *)
   avg_memory_bytes : float;
@@ -58,6 +70,10 @@ val total_transmission : summary -> int
 (** Payload + metadata, in element units. *)
 
 val total_transmission_bytes : summary -> int
+
+val transmission_bytes : accounting:accounting -> summary -> int
+(** Headline byte figure under the given accounting mode: exact framed
+    wire bytes when [Exact], the estimate model otherwise. *)
 
 val metadata_fraction : summary -> float
 (** Metadata share of all transmitted bytes (Section V-B2); 0 when

@@ -90,6 +90,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     mutable metadata : int;
     mutable payload_bytes : int;
     mutable metadata_bytes : int;
+    mutable wire_bytes : int;
     mutable memory_weight : int;
     mutable memory_bytes : int;
     mutable metadata_memory_bytes : int;
@@ -105,6 +106,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       metadata = 0;
       payload_bytes = 0;
       metadata_bytes = 0;
+      wire_bytes = 0;
       memory_weight = 0;
       memory_bytes = 0;
       metadata_memory_bytes = 0;
@@ -119,6 +121,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     a.metadata <- 0;
     a.payload_bytes <- 0;
     a.metadata_bytes <- 0;
+    a.wire_bytes <- 0;
     a.memory_weight <- 0;
     a.memory_bytes <- 0;
     a.metadata_memory_bytes <- 0;
@@ -133,6 +136,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     nodes : P.node array;
     pool : Pool.t;
     faults : fault_plan;
+    exact_bytes : bool;
+        (** whether delivered messages are additionally sized exactly
+            ([P.message_wire_bytes]) into the [wire_bytes] counters. *)
     rng_faults : bool;
         (** whether duplicate/drop/shuffle consult the PRNG streams. *)
     adversity : bool;  (** whether partitions/delays/crashes are scheduled. *)
@@ -230,7 +236,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         acc.payload <- acc.payload + P.payload_weight msg;
         acc.metadata <- acc.metadata + P.metadata_weight msg;
         acc.payload_bytes <- acc.payload_bytes + P.payload_bytes msg;
-        acc.metadata_bytes <- acc.metadata_bytes + P.metadata_bytes msg
+        acc.metadata_bytes <- acc.metadata_bytes + P.metadata_bytes msg;
+        if eng.exact_bytes then
+          acc.wire_bytes <- acc.wire_bytes + P.message_wire_bytes msg
       in
       let handle ~src msg =
         let node, replies = P.handle eng.nodes.(d) ~src msg in
@@ -379,6 +387,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             metadata = r.metadata + a.metadata;
             payload_bytes = r.payload_bytes + a.payload_bytes;
             metadata_bytes = r.metadata_bytes + a.metadata_bytes;
+            wire_bytes = r.wire_bytes + a.wire_bytes;
             memory_weight = r.memory_weight + a.memory_weight;
             memory_bytes = r.memory_bytes + a.memory_bytes;
             metadata_memory_bytes =
@@ -406,13 +415,16 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       carry their own PRNG; a crashed node performs no operations.
       [quiesce_limit] bounds the post-measurement convergence phase.
       [domains] sets the pool width; any value produces bit-identical
-      results for a fixed fault seed.
+      results for a fixed fault seed.  [bytes] selects the byte
+      accounting: under {!Metrics.Exact} every delivered message is
+      additionally sized exactly via [P.message_wire_bytes] into the
+      [wire_bytes] counters (the estimate counters are always kept).
 
       @raise Invalid_argument when the fault plan is structurally
       invalid ({!Fault.validate}) or demands a fault class the protocol
       does not declare in its capabilities ({!Fault.require}). *)
-  let run ?(faults = no_faults) ?(quiesce_limit = 64) ?(domains = 1) ~equal
-      ~topology ~rounds ~ops () =
+  let run ?(faults = no_faults) ?(quiesce_limit = 64) ?(domains = 1)
+      ?(bytes = Metrics.Estimate) ~equal ~topology ~rounds ~ops () =
     if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
     let n = Topology.size topology in
     Fault.validate ~nodes:n ~rounds faults;
@@ -446,6 +458,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             nodes;
             pool;
             faults;
+            exact_bytes = (bytes = Metrics.Exact);
             rng_faults;
             adversity;
             rngs =

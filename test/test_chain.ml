@@ -63,6 +63,10 @@ module Level = Chain.Make_max (struct
   let compare = Char.compare
   let bottom = 'a'
   let byte_size _ = 1
+
+  let codec =
+    Crdt_wire.Codec.conv Char.code Char.chr Crdt_wire.Codec.u8
+
   let pp ppf = Format.fprintf ppf "%c"
 end)
 

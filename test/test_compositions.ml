@@ -191,6 +191,7 @@ module Div = struct
   let compare = Int.compare
   let weight _ = 1
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
   let pp ppf = Format.fprintf ppf "%d"
 end
 

@@ -6,15 +6,16 @@ let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
 
 let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
-    ?(metadata_bytes = 0) ?(memory_weight = 0) ?(memory_bytes = 0)
-    ?(metadata_memory_bytes = 0) ?(ops_applied = 0) ?(dropped = 0) ?(held = 0)
-    ?(partitioned = 0) () : Metrics.round =
+    ?(metadata_bytes = 0) ?(wire_bytes = 0) ?(memory_weight = 0)
+    ?(memory_bytes = 0) ?(metadata_memory_bytes = 0) ?(ops_applied = 0)
+    ?(dropped = 0) ?(held = 0) ?(partitioned = 0) () : Metrics.round =
   {
     messages;
     payload;
     metadata;
     payload_bytes;
     metadata_bytes;
+    wire_bytes;
     memory_weight;
     memory_bytes;
     metadata_memory_bytes;

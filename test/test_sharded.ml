@@ -14,6 +14,7 @@ module Key = struct
 
   let compare = Int.compare
   let byte_size _ = 8
+  let codec = Crdt_wire.Codec.int
 end
 
 module One = Delta_sync.Make (S) (Delta_sync.Bp_rr_config)

@@ -1,0 +1,654 @@
+(* Property suite for the lib/wire codec subsystem (DESIGN.md §6).
+
+   Three layers of guarantees:
+
+   - roundtrip: [decode (encode x) = Ok x] (up to lattice equality) for
+     every composition's state codec, and join-of-decoded agrees with
+     the in-memory join; protocol messages roundtrip byte-exactly
+     (abstract message types are compared by re-encoding);
+
+   - size law: the byte_size estimate (20 B node ids / 8 B ints) stays
+     within a documented constant envelope of the exact encoded size:
+
+         exact    <= 2 * estimate + 5 * weight + 16
+         estimate <= 36 * exact + 16
+
+   - robustness: decoders are total — strict prefixes and bit-flipped
+     inputs return [Error] or a different value but never raise, corrupt
+     length prefixes are rejected before allocating, oversized frames
+     are refused by the framing layer. *)
+
+open Crdt_core
+module Codec = Crdt_wire.Codec
+module Frame = Crdt_wire.Frame
+module Gen = QCheck.Gen
+
+let qtest = QCheck_alcotest.to_alcotest
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -- generic lattice codec laws ----------------------------------------- *)
+
+module Wire_laws (L : Lattice_intf.LATTICE) (G : sig
+  val name : string
+  val gen : L.t Gen.t
+end) =
+struct
+  let arb = QCheck.make ~print:(Format.asprintf "%a" L.pp) G.gen
+  let encode x = Codec.encode_to_string L.codec x
+
+  let roundtrip =
+    QCheck.Test.make ~count:200 ~name:(G.name ^ ": decode (encode x) = Ok x")
+      arb (fun x ->
+        match Codec.decode_string L.codec (encode x) with
+        | Ok y -> L.equal x y && L.compare x y = 0
+        | Error _ -> false)
+
+  let join_of_decoded =
+    QCheck.Test.make ~count:200
+      ~name:(G.name ^ ": join of decoded = join of originals")
+      (QCheck.pair arb arb)
+      (fun (a, b) ->
+        let rt x =
+          match Codec.decode_string L.codec (encode x) with
+          | Ok y -> y
+          | Error _ -> QCheck.Test.fail_report "decode failed"
+        in
+        L.equal (L.join (rt a) (rt b)) (L.join a b))
+
+  let size_law =
+    QCheck.Test.make ~count:200
+      ~name:(G.name ^ ": exact size within the estimate envelope") arb
+      (fun x ->
+        let exact = Codec.encoded_size L.codec x in
+        let est = L.byte_size x in
+        let w = L.weight x in
+        exact <= (2 * est) + (5 * w) + 16 && est <= (36 * exact) + 16)
+
+  let truncation =
+    QCheck.Test.make ~count:50
+      ~name:(G.name ^ ": strict prefixes never decode") arb (fun x ->
+        let s = encode x in
+        let ok = ref true in
+        for k = 0 to String.length s - 1 do
+          match Codec.decode_string L.codec (String.sub s 0 k) with
+          | Ok _ -> ok := false
+          | Error _ -> ()
+        done;
+        !ok)
+
+  let bit_flips =
+    QCheck.Test.make ~count:25 ~name:(G.name ^ ": bit flips never raise") arb
+      (fun x ->
+        let s = encode x in
+        for i = 0 to String.length s - 1 do
+          for bit = 0 to 7 do
+            let b = Bytes.of_string s in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+            (* Any result is fine; raising is the only failure. *)
+            ignore (Codec.decode_string L.codec (Bytes.to_string b))
+          done
+        done;
+        true)
+
+  let tests =
+    List.map qtest [ roundtrip; join_of_decoded; size_law; truncation; bit_flips ]
+end
+
+(* -- instances: every composition of the catalogue ---------------------- *)
+
+let replica = Gen.map Replica_id.of_int (Gen.int_bound 4)
+let small_string = Gen.map (fun n -> String.make n 'a') (Gen.int_bound 5)
+let gset_gen = Gen.map Gset.Of_int.of_list (Gen.small_list (Gen.int_bound 30))
+
+module Max_int_w =
+  Wire_laws
+    (Chain.Max_int)
+    (struct
+      let name = "Max_int"
+
+      (* Full-range ints stress the zigzag varint, not just small ones. *)
+      let gen =
+        Gen.oneof
+          [ Gen.int_bound 20; Gen.int; Gen.oneofl [ min_int; max_int; -1; 0 ] ]
+    end)
+
+module Max_string_w =
+  Wire_laws
+    (Chain.Max_string)
+    (struct
+      let name = "Max_string"
+      let gen = Gen.string_size ~gen:Gen.printable (Gen.int_bound 40)
+    end)
+
+module Gset_w =
+  Wire_laws
+    (Gset.Of_int)
+    (struct
+      let name = "GSet<int>"
+      let gen = gset_gen
+    end)
+
+module Gcounter_w =
+  Wire_laws
+    (Gcounter)
+    (struct
+      let name = "GCounter"
+
+      let gen =
+        Gen.map Gcounter.of_list
+          (Gen.small_list (Gen.pair replica (Gen.int_range 1 10)))
+    end)
+
+module Pncounter_w =
+  Wire_laws
+    (Pncounter)
+    (struct
+      let name = "PNCounter"
+
+      let gen =
+        Gen.map Pncounter.of_list
+          (Gen.small_list
+             (Gen.pair replica (Gen.pair (Gen.int_bound 9) (Gen.int_bound 9))))
+    end)
+
+module Pair = Product.Make (Chain.Max_int) (Gset.Of_int)
+
+module Product_w =
+  Wire_laws
+    (Pair)
+    (struct
+      let name = "Max_int × GSet"
+      let gen = Gen.pair (Gen.int_bound 20) gset_gen
+    end)
+
+module Lex = Lexico.Make (Chain.Max_int) (Gset.Of_int)
+
+module Lexico_w =
+  Wire_laws
+    (Lex)
+    (struct
+      let name = "Max_int ⋉ GSet"
+      let gen = Gen.pair (Gen.int_bound 3) gset_gen
+    end)
+
+module Sum = Linear_sum.Make (Gset.Of_int) (Gset.Of_int)
+
+module Linear_sum_w =
+  Wire_laws
+    (Sum)
+    (struct
+      let name = "GSet ⊕ GSet"
+
+      let gen =
+        Gen.oneof
+          [
+            Gen.map (fun s -> Sum.Left s) gset_gen;
+            Gen.map (fun s -> Sum.Right s) gset_gen;
+          ]
+    end)
+
+module Gmap_w =
+  Wire_laws
+    (Gmap.Versioned)
+    (struct
+      let name = "GMap<int,Version>"
+
+      let gen =
+        Gen.map Gmap.Versioned.of_list
+          (Gen.small_list (Gen.pair (Gen.int_bound 5) (Gen.int_bound 5)))
+    end)
+
+module Aw_w =
+  Wire_laws
+    (Aw_set.Of_int)
+    (struct
+      let name = "AWSet<int>"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun e -> Aw_set.Of_int.Add e) (Gen.int_bound 10);
+              Gen.map (fun e -> Aw_set.Of_int.Remove e) (Gen.int_bound 10);
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun s (i, op) -> Aw_set.Of_int.mutate op i s)
+              Aw_set.Of_int.bottom ops)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+module Mv_w =
+  Wire_laws
+    (Mv_register)
+    (struct
+      let name = "MV register"
+
+      let gen =
+        Gen.map
+          (fun writes ->
+            List.fold_left
+              (fun (acc, reg) (i, s) ->
+                let reg' = Mv_register.mutate (Mv_register.Write s) i reg in
+                (Mv_register.join acc reg', reg'))
+              (Mv_register.bottom, Mv_register.bottom)
+              writes
+            |> fst)
+          (Gen.small_list (Gen.pair replica small_string))
+    end)
+
+module Divisibility = struct
+  type t = int
+
+  (* Total on all of int (decoded fuzz inputs may carry 0): 0 divides
+     only itself. *)
+  let leq a b = if a = 0 then b = 0 else b mod a = 0
+  let compare = Int.compare
+  let weight _ = 1
+  let byte_size _ = 8
+  let codec = Codec.int
+  let pp ppf = Format.fprintf ppf "%d"
+end
+
+module Div_chain = Antichain.Make (Divisibility)
+
+module Antichain_w =
+  Wire_laws
+    (Div_chain)
+    (struct
+      let name = "M(divisibility)"
+      let gen = Gen.map Div_chain.of_list (Gen.small_list (Gen.int_range 1 60))
+    end)
+
+(* Deep composite: the shape of real application state. *)
+module Deep_value = Product.Make (Gcounter) (Lex)
+module Deep = Map_lattice.Make (Gmap.Int_key) (Deep_value)
+
+module Deep_w =
+  Wire_laws
+    (Deep)
+    (struct
+      let name = "Map<int, GCounter × (ℕ ⋉ GSet)>"
+
+      let gen =
+        let gcounter =
+          Gen.map Gcounter.of_list
+            (Gen.small_list (Gen.pair replica (Gen.int_range 1 9)))
+        in
+        let value =
+          Gen.pair gcounter (Gen.pair (Gen.int_bound 3) gset_gen)
+        in
+        Gen.map Deep.of_list
+          (Gen.small_list (Gen.pair (Gen.int_bound 5) value))
+    end)
+
+module User_w =
+  Wire_laws
+    (Crdt_retwis.User_state)
+    (struct
+      let name = "Retwis user state"
+
+      let gen =
+        let op =
+          Gen.oneof
+            [
+              Gen.map (fun u -> Crdt_retwis.User_state.Follow u) (Gen.int_bound 20);
+              Gen.map
+                (fun (id, c) ->
+                  Crdt_retwis.User_state.Post { tweet_id = id; content = c })
+                (Gen.pair small_string small_string);
+              Gen.map
+                (fun (ts, id) ->
+                  Crdt_retwis.User_state.Timeline_add
+                    { timestamp = ts; tweet_id = id })
+                (Gen.pair (Gen.int_bound 100) small_string);
+            ]
+        in
+        Gen.map
+          (fun ops ->
+            List.fold_left
+              (fun s (i, op) -> Crdt_retwis.User_state.mutate op i s)
+              Crdt_retwis.User_state.bottom ops)
+          (Gen.small_list (Gen.pair replica op))
+    end)
+
+(* -- protocol message roundtrips ---------------------------------------- *)
+
+(* Messages are harvested by driving a real 3-replica full-mesh exchange
+   (ticks, handler replies, and — when tolerated — a crash/recover to
+   provoke the recovery messages), then each message is checked to
+   decode and re-encode byte-identically, with message_wire_bytes equal
+   to the framed size of the encoding. *)
+module Proto_messages
+    (P : Crdt_proto.Protocol_intf.PROTOCOL) (W : sig
+      val name : string
+      val ops_at : round:int -> node:int -> P.op list
+    end) =
+struct
+  let collect () =
+    let ids = [ 0; 1; 2 ] in
+    let nodes =
+      Array.init 3 (fun i ->
+          P.init ~id:i ~neighbors:(List.filter (fun j -> j <> i) ids) ~total:3)
+    in
+    let collected = ref [] in
+    let deliver msgs =
+      (* Waves of (src, dst, message), replies feeding the next wave. *)
+      let wave = ref msgs in
+      let steps = ref 0 in
+      while !wave <> [] && !steps < 32 do
+        incr steps;
+        let next = ref [] in
+        List.iter
+          (fun (src, dst, m) ->
+            collected := m :: !collected;
+            let n, replies = P.handle nodes.(dst) ~src m in
+            nodes.(dst) <- n;
+            List.iter (fun (j, r) -> next := (dst, j, r) :: !next) replies)
+          !wave;
+        wave := List.rev !next
+      done
+    in
+    for round = 0 to 5 do
+      if round = 3 && P.capabilities.Crdt_proto.Protocol_intf.tolerates_crash
+      then nodes.(1) <- P.recover (P.crash nodes.(1));
+      Array.iteri
+        (fun i _ ->
+          List.iter
+            (fun op -> nodes.(i) <- P.local_update nodes.(i) op)
+            (W.ops_at ~round ~node:i))
+        nodes;
+      let outbound = ref [] in
+      Array.iteri
+        (fun i _ ->
+          let n, msgs = P.tick nodes.(i) in
+          nodes.(i) <- n;
+          List.iter (fun (j, m) -> outbound := (i, j, m) :: !outbound) msgs)
+        nodes;
+      deliver (List.rev !outbound)
+    done;
+    !collected
+
+  let test =
+    Alcotest.test_case (W.name ^ ": messages roundtrip byte-exactly") `Quick
+      (fun () ->
+        let msgs = collect () in
+        check "harvested some messages" true (msgs <> []);
+        List.iter
+          (fun m ->
+            let enc = Codec.encode_to_string P.message_codec m in
+            match Codec.decode_string P.message_codec enc with
+            | Error e ->
+                Alcotest.failf "%s: decode failed: %s" W.name
+                  (Codec.error_to_string e)
+            | Ok m' ->
+                Alcotest.(check string)
+                  "re-encode is byte-identical" enc
+                  (Codec.encode_to_string P.message_codec m');
+                check_int "message_wire_bytes = framed size"
+                  (Frame.framed_size ~payload_len:(String.length enc))
+                  (P.message_wire_bytes m))
+          msgs)
+end
+
+open Crdt_proto
+
+let gset_ops ~round ~node = [ (round * 100) + node ]
+
+module Msg_state =
+  Proto_messages
+    (State_sync.Make (Gset.Of_int))
+    (struct
+      let name = "state-based/GSet"
+      let ops_at = gset_ops
+    end)
+
+module Msg_bp_rr =
+  Proto_messages
+    (Delta_sync.Make (Gset.Of_int) (Delta_sync.Bp_rr_config))
+    (struct
+      let name = "delta-bp+rr/GSet"
+      let ops_at = gset_ops
+    end)
+
+module Msg_ack =
+  Proto_messages
+    (Delta_sync.Make (Gset.Of_int) (Delta_sync.Ack_config))
+    (struct
+      (* Ack mode also exercises Ack and the SyncReq/SyncResp recovery
+         exchange (the harvest crashes and recovers node 1). *)
+      let name = "delta-bp+rr-ack/GSet"
+      let ops_at = gset_ops
+    end)
+
+module Msg_delta_gmap =
+  Proto_messages
+    (Delta_sync.Make (Gmap.Versioned) (Delta_sync.Bp_rr_config))
+    (struct
+      let name = "delta-bp+rr/GMap"
+
+      let ops_at ~round ~node =
+        [ Gmap.Versioned.Apply (((round * 3) + node) mod 7, Version.Bump) ]
+    end)
+
+module Msg_scuttlebutt =
+  Proto_messages
+    (Scuttlebutt.Make (Gset.Of_int) (Scuttlebutt.No_gc_config))
+    (struct
+      let name = "scuttlebutt/GSet"
+      let ops_at = gset_ops
+    end)
+
+module Msg_op =
+  Proto_messages
+    (Op_sync.Make (Gcounter))
+    (struct
+      let name = "op-based/GCounter"
+      let ops_at ~round:_ ~node:_ = [ Gcounter.Inc 1 ]
+    end)
+
+module Msg_merkle =
+  Proto_messages
+    (Merkle_sync.Make (Gset.Of_int) (Merkle_sync.Default_config))
+    (struct
+      let name = "merkle/GSet"
+      let ops_at = gset_ops
+    end)
+
+module Shard_key = struct
+  type t = int
+
+  let compare = Int.compare
+  let byte_size _ = 8
+  let codec = Codec.int
+end
+
+module Msg_sharded =
+  Proto_messages
+    (Sharded.Make (Shard_key) (Gset.Of_string)
+       (Delta_sync.Make (Gset.Of_string) (Delta_sync.Bp_rr_config)))
+    (struct
+      let name = "sharded-delta/GSet"
+
+      let ops_at ~round ~node =
+        [ (round mod 3, Printf.sprintf "e-%d-%d" round node) ]
+    end)
+
+let message_tests =
+  [
+    Msg_state.test;
+    Msg_bp_rr.test;
+    Msg_ack.test;
+    Msg_delta_gmap.test;
+    Msg_scuttlebutt.test;
+    Msg_op.test;
+    Msg_merkle.test;
+    Msg_sharded.test;
+  ]
+
+(* -- primitive codecs ---------------------------------------------------- *)
+
+let primitive_tests =
+  [
+    qtest
+      (QCheck.Test.make ~count:500 ~name:"zigzag int roundtrip (full range)"
+         (QCheck.make
+            Gen.(
+              oneof
+                [ int; oneofl [ min_int; max_int; 0; -1; 1; 1 lsl 62 ] ]))
+         (fun n ->
+           Codec.decode_string Codec.int
+             (Codec.encode_to_string Codec.int n)
+           = Ok n));
+    qtest
+      (QCheck.Test.make ~count:500 ~name:"varint roundtrip (non-negative)"
+         (QCheck.make Gen.(oneof [ nat; oneofl [ 0; 1; max_int ] ]))
+         (fun n ->
+           Codec.decode_string Codec.varint
+             (Codec.encode_to_string Codec.varint n)
+           = Ok n));
+    Alcotest.test_case "varint size matches encoding" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            check_int
+              (Printf.sprintf "varint_size %d" n)
+              (String.length (Codec.encode_to_string Codec.varint n))
+              (Codec.varint_size n))
+          [ 0; 1; 127; 128; 16383; 16384; 1 lsl 35; max_int ]);
+  ]
+
+(* -- allocation caps and framing robustness ------------------------------ *)
+
+let adversarial_tests =
+  [
+    Alcotest.test_case "corrupt list count rejected before allocating" `Quick
+      (fun () ->
+        (* A claimed element count of 2^40 with no elements behind it must
+           be rejected by the remaining-bytes check, not allocated. *)
+        let huge = Codec.encode_to_string Codec.varint (1 lsl 40) in
+        (match Codec.decode_string (Codec.list Codec.varint) huge with
+        | Error (Codec.Malformed _) -> ()
+        | Error Codec.Truncated -> Alcotest.fail "expected Malformed, got Truncated"
+        | Ok _ -> Alcotest.fail "decoded a 2^40-element list from 6 bytes");
+        match Codec.decode_string Codec.string huge with
+        | Error (Codec.Malformed _) -> ()
+        | Error Codec.Truncated -> Alcotest.fail "expected Malformed, got Truncated"
+        | Ok _ -> Alcotest.fail "decoded a 2^40-byte string from 6 bytes");
+    Alcotest.test_case "oversized frame refused by the feed" `Quick (fun () ->
+        let feed = Frame.feed ~max_payload:1024 () in
+        let huge_header =
+          let buf = Buffer.create 8 in
+          Buffer.add_char buf (Char.chr Frame.magic);
+          Buffer.add_char buf (Char.chr Frame.version);
+          Buffer.add_char buf '\001';
+          Codec.write_varint buf (1 lsl 30);
+          Buffer.contents buf
+        in
+        Frame.push feed huge_header;
+        (match Frame.pop feed with
+        | Error (Codec.Malformed _) -> ()
+        | Error Codec.Truncated | Ok _ -> Alcotest.fail "oversized frame accepted");
+        (* The error is sticky: the stream is garbage from here on. *)
+        Frame.push feed (String.make 4 '\000');
+        match Frame.pop feed with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "feed recovered after a framing violation");
+    Alcotest.test_case "bad magic / version rejected" `Quick (fun () ->
+        let frame = Frame.encode ~kind:1 "payload" in
+        let flip i c =
+          let b = Bytes.of_string frame in
+          Bytes.set b i c;
+          Bytes.to_string b
+        in
+        (match Frame.decode (flip 0 'X') with
+        | Error (Codec.Malformed _) -> ()
+        | _ -> Alcotest.fail "bad magic accepted");
+        match Frame.decode (flip 1 '\255') with
+        | Error (Codec.Malformed _) -> ()
+        | _ -> Alcotest.fail "future version accepted");
+    Alcotest.test_case "frame roundtrip and byte-at-a-time feed" `Quick
+      (fun () ->
+        let payloads = [ ""; "x"; String.make 300 'p'; "\000\255\xc5" ] in
+        let stream =
+          String.concat ""
+            (List.mapi (fun i p -> Frame.encode ~kind:(i mod 3) p) payloads)
+        in
+        let feed = Frame.feed () in
+        let got = ref [] in
+        String.iter
+          (fun c ->
+            Frame.push feed (String.make 1 c);
+            let rec drain () =
+              match Frame.pop feed with
+              | Ok (Some (kind, payload)) ->
+                  got := (kind, payload) :: !got;
+                  drain ()
+              | Ok None -> ()
+              | Error e -> Alcotest.failf "feed: %s" (Codec.error_to_string e)
+            in
+            drain ())
+          stream;
+        Alcotest.(check (list (pair int string)))
+          "all frames recovered in order"
+          (List.mapi (fun i p -> (i mod 3, p)) payloads)
+          (List.rev !got);
+        check_int "nothing pending" 0 (Frame.pending_bytes feed));
+    qtest
+      (QCheck.Test.make ~count:200 ~name:"arbitrary bytes never crash Frame.decode"
+         (QCheck.make (Gen.string_size ~gen:Gen.char (Gen.int_bound 64)))
+         (fun s ->
+           ignore (Frame.decode s);
+           let feed = Frame.feed () in
+           Frame.push feed s;
+           (match Frame.pop feed with Ok _ | Error _ -> ());
+           true));
+  ]
+
+(* -- vclock -------------------------------------------------------------- *)
+
+let vclock_tests =
+  [
+    qtest
+      (QCheck.Test.make ~count:200 ~name:"vclock roundtrip (zeros dropped)"
+         (QCheck.make
+            Gen.(
+              small_list (pair (int_bound 6) (int_bound 5))))
+         (fun entries ->
+           let vc =
+             List.fold_left
+               (fun vc (i, n) -> Vclock.set i n vc)
+               Vclock.empty entries
+           in
+           match
+             Codec.decode_string Vclock.codec
+               (Codec.encode_to_string Vclock.codec vc)
+           with
+           | Ok vc' -> Vclock.compare vc vc' = 0
+           | Error _ -> false));
+  ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ("primitives", primitive_tests);
+      ("Max_int", Max_int_w.tests);
+      ("Max_string", Max_string_w.tests);
+      ("GSet", Gset_w.tests);
+      ("GCounter", Gcounter_w.tests);
+      ("PNCounter", Pncounter_w.tests);
+      ("Product", Product_w.tests);
+      ("Lexico", Lexico_w.tests);
+      ("Linear_sum", Linear_sum_w.tests);
+      ("GMap", Gmap_w.tests);
+      ("AWSet", Aw_w.tests);
+      ("MV", Mv_w.tests);
+      ("Antichain", Antichain_w.tests);
+      ("Deep", Deep_w.tests);
+      ("Retwis", User_w.tests);
+      ("messages", message_tests);
+      ("adversarial", adversarial_tests);
+      ("vclock", vclock_tests);
+    ]
