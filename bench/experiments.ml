@@ -107,13 +107,19 @@ let fig1 scale =
     }
   in
   (* Per-round series need raw runner access. *)
-  let module Rs = Runner.Make (Crdt_proto.State_sync.Make (Gset.Of_int)) in
-  let module Rc =
-    Runner.Make
-      (Crdt_proto.Delta_sync.Make (Gset.Of_int) (Crdt_proto.Delta_sync.Classic_config)) in
-  let module Rb =
-    Runner.Make
-      (Crdt_proto.Delta_sync.Make (Gset.Of_int) (Crdt_proto.Delta_sync.Bp_rr_config)) in
+  let proto name =
+    Crdt_engine.Registry.instantiate
+      (Crdt_engine.Registry.find_protocol name)
+      (module Gset.Of_int : Crdt_proto.Protocol_intf.CRDT
+        with type t = Gset.Of_int.t
+         and type op = Gset.Of_int.op)
+  in
+  let module Ps = (val proto "state-based") in
+  let module Pc = (val proto "delta-classic") in
+  let module Pb = (val proto "delta-bp+rr") in
+  let module Rs = Runner.Make (Ps) in
+  let module Rc = Runner.Make (Pc) in
+  let module Rb = Runner.Make (Pb) in
   let series (rounds : Metrics.round array) =
     let cum = ref 0 in
     Array.map

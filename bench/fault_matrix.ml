@@ -21,26 +21,22 @@ module Si = Gset.Of_int
 module type P_int =
   Crdt_proto.Protocol_intf.PROTOCOL with type crdt = Si.t and type op = int
 
+(* Every registered protocol except the redundant delta variants:
+   classic/BP/RR share BP+RR's (absent) fault tolerance, so they would
+   only repeat its unsupported cells. *)
 let protocols : (string * (module P_int)) list =
-  [
-    ("state-based", (module Crdt_proto.State_sync.Make (Si)));
-    ( "delta-bp+rr",
-      (module Crdt_proto.Delta_sync.Make (Si) (Crdt_proto.Delta_sync.Bp_rr_config))
-    );
-    ( "delta-bp+rr-ack",
-      (module Crdt_proto.Delta_sync.Make (Si) (Crdt_proto.Delta_sync.Ack_config))
-    );
-    ( "scuttlebutt",
-      (module Crdt_proto.Scuttlebutt.Make (Si) (Crdt_proto.Scuttlebutt.No_gc_config))
-    );
-    ( "scuttlebutt-gc",
-      (module Crdt_proto.Scuttlebutt.Make (Si) (Crdt_proto.Scuttlebutt.Gc_config))
-    );
-    ("op-based", (module Crdt_proto.Op_sync.Make (Si)));
-    ( "merkle",
-      (module Crdt_proto.Merkle_sync.Make (Si) (Crdt_proto.Merkle_sync.Default_config))
-    );
-  ]
+  List.filter_map
+    (fun maker ->
+      let name = Crdt_engine.Registry.protocol_name maker in
+      if List.mem name [ "delta-classic"; "delta-bp"; "delta-rr" ] then None
+      else
+        Some
+          ( name,
+            Crdt_engine.Registry.instantiate maker
+              (module Si : Crdt_proto.Protocol_intf.CRDT
+                with type t = Si.t
+                 and type op = Si.op) ))
+    Crdt_engine.Registry.protocols
 
 (* One fault cell = a plan builder parameterized on nodes/rounds so the
    same schedule shape scales with --quick. *)

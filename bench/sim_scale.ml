@@ -361,10 +361,13 @@ struct
       with type crdt = C.t
        and type op = C.op
 
-  module Classic =
-    Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Classic_config)
-  module BpRr =
-    Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Bp_rr_config)
+  let proto name : (module PROTO) =
+    Crdt_engine.Registry.instantiate
+      (Crdt_engine.Registry.find_protocol name)
+      (module C : Crdt_proto.Protocol_intf.CRDT
+        with type t = C.t
+         and type op = C.op)
+
   module L_classic =
     Legacy_stack.Runner (B) (Crdt_proto.Delta_sync.Classic_config)
   module L_bp_rr = Legacy_stack.Runner (B) (Crdt_proto.Delta_sync.Bp_rr_config)
@@ -417,13 +420,11 @@ struct
   let measure_all ~crdt ~topology ~rounds ~gen_ops ~domain_counts ~with_legacy
       ~samples =
     [
-      measure
-        (module Classic)
+      measure (proto "delta-classic")
         ~legacy_run:(fun ~topology ~rounds ~ops () ->
           L_classic.run ~topology ~rounds ~ops ())
         ~crdt ~topology ~rounds ~gen_ops ~domain_counts ~with_legacy ~samples;
-      measure
-        (module BpRr)
+      measure (proto "delta-bp+rr")
         ~legacy_run:(fun ~topology ~rounds ~ops () ->
           L_bp_rr.run ~topology ~rounds ~ops ())
         ~crdt ~topology ~rounds ~gen_ops ~domain_counts ~with_legacy ~samples;

@@ -38,11 +38,12 @@ module Sweep (C : Crdt_proto.Protocol_intf.CRDT) = struct
       with type crdt = C.t
        and type op = C.op
 
-  module State = Crdt_proto.State_sync.Make (C)
-  module Classic =
-    Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Classic_config)
-  module BpRr =
-    Crdt_proto.Delta_sync.Make (C) (Crdt_proto.Delta_sync.Bp_rr_config)
+  let proto name : (module PROTO) =
+    Crdt_engine.Registry.instantiate
+      (Crdt_engine.Registry.find_protocol name)
+      (module C : Crdt_proto.Protocol_intf.CRDT
+        with type t = C.t
+         and type op = C.op)
 
   let measure (module P : PROTO) ~crdt ~topology ~rounds ~gen_ops =
     let module R = Runner.Make (P) in
@@ -65,11 +66,9 @@ module Sweep (C : Crdt_proto.Protocol_intf.CRDT) = struct
     }
 
   let measure_all ~crdt ~topology ~rounds ~gen_ops =
-    [
-      measure (module State) ~crdt ~topology ~rounds ~gen_ops;
-      measure (module Classic) ~crdt ~topology ~rounds ~gen_ops;
-      measure (module BpRr) ~crdt ~topology ~rounds ~gen_ops;
-    ]
+    List.map
+      (fun name -> measure (proto name) ~crdt ~topology ~rounds ~gen_ops)
+      [ "state-based"; "delta-classic"; "delta-bp+rr" ]
 end
 
 module S_gset = Sweep (Gset.Of_int)

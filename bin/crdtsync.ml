@@ -14,23 +14,18 @@
      crdtsync serve --id 0 --listen 127.0.0.1:7000 --peer 1=127.0.0.1:7001
      crdtsync topo --topology mesh --nodes 15
 
+   Protocol and CRDT dispatch goes through Crdt_engine.Registry: micro
+   runs every registered protocol, serve accepts any registered
+   protocol × CRDT cell (minus the registry's declared exclusions).
+
    Fault flags build a Crdt_sim.Fault.plan; protocols whose declared
    capabilities do not cover the plan are skipped (micro) or rejected
    (retwis).  Any non-converged run exits with status 1. *)
 
 open Cmdliner
-open Crdt_core
 open Crdt_sim
-
-let make_topology name nodes =
-  match name with
-  | "tree" -> Topology.tree nodes
-  | "mesh" -> Topology.partial_mesh nodes
-  | "ring" -> Topology.ring nodes
-  | "line" -> Topology.line nodes
-  | "star" -> Topology.star nodes
-  | "full" -> Topology.full_mesh nodes
-  | other -> invalid_arg (Printf.sprintf "unknown topology %S" other)
+module Registry = Crdt_engine.Registry
+module Trace = Crdt_engine.Trace
 
 let topology_arg =
   Arg.(
@@ -183,6 +178,62 @@ let bytes_arg =
            of every delivered message; $(b,estimate) uses the paper's byte \
            model (node id = 20 B, int = 8 B).")
 
+(* -- structured output (micro and serve) -------------------------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the structured event trace (tick/send/recv/deliver/…) \
+           as JSON lines to FILE.")
+
+let metrics_out_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable JSON metrics summary to FILE; the \
+           $(b,totals) object uses the same keys in micro and serve, so \
+           simulated and socket runs are directly comparable.")
+
+(* The shared totals schema: what the simulator accumulates per run and
+   the socket runtime accumulates per process. *)
+let totals_json ~messages ~payload ~metadata ~payload_bytes ~metadata_bytes
+    ~wire_bytes ~ops_applied =
+  Printf.sprintf
+    {|{"messages":%d,"payload":%d,"metadata":%d,"payload_bytes":%d,"metadata_bytes":%d,"wire_bytes":%d,"ops_applied":%d}|}
+    messages payload metadata payload_bytes metadata_bytes wire_bytes
+    ops_applied
+
+let summary_totals_json (s : Metrics.summary) =
+  totals_json ~messages:s.Metrics.total_messages ~payload:s.Metrics.total_payload
+    ~metadata:s.Metrics.total_metadata
+    ~payload_bytes:s.Metrics.total_payload_bytes
+    ~metadata_bytes:s.Metrics.total_metadata_bytes
+    ~wire_bytes:s.Metrics.total_wire_bytes ~ops_applied:s.Metrics.total_ops
+
+let counters_totals_json (c : Trace.counters) =
+  totals_json ~messages:c.Trace.messages ~payload:c.Trace.payload
+    ~metadata:c.Trace.metadata ~payload_bytes:c.Trace.payload_bytes
+    ~metadata_bytes:c.Trace.metadata_bytes ~wire_bytes:c.Trace.wire_bytes
+    ~ops_applied:c.Trace.ops_applied
+
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* Run [f] with an optional JSONL trace sink on [path]. *)
+let with_trace_sink path f =
+  match path with
+  | None -> f None
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> f (Some (Trace.jsonl oc)))
+
 (* -- micro -------------------------------------------------------------- *)
 
 let print_outcomes ~accounting outcomes =
@@ -233,69 +284,66 @@ let report_skipped = function
       Printf.printf "skipping (no declared fault tolerance): %s\n\n"
         (String.concat ", " names)
 
-let run_micro crdt topology nodes rounds k domains faults bytes =
-  let topo = make_topology topology nodes in
-  Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
-    rounds;
-  (* Under an active fault plan the ack-mode δ-buffer joins the lineup:
-     it is the delta variant built for lossy channels. *)
-  let base_selection extra =
-    { extra with Harness.delta_ack = Fault.active faults }
+(* The micro metrics file: one totals object per protocol, over the full
+   run including the convergence tail — the figure a lockstep socket
+   cluster of the same workload reproduces. *)
+let micro_metrics_json ~crdt ~topology ~nodes ~rounds outcomes =
+  let results =
+    List.map
+      (fun (o : Harness.outcome) ->
+        Printf.sprintf
+          {|    {"protocol":"%s","converged":%b,"totals":%s}|}
+          o.protocol o.converged
+          (summary_totals_json o.full))
+      outcomes
   in
+  Printf.sprintf
+    "{\"cmd\":\"micro\",\"crdt\":\"%s\",\"topology\":\"%s\",\"nodes\":%d,\"rounds\":%d,\"results\":[\n%s\n]}\n"
+    crdt topology nodes rounds
+    (String.concat ",\n" results)
+
+let run_micro crdt topology nodes rounds k domains faults bytes trace_out
+    metrics_out =
   try
+    let topo = Topology.of_name topology nodes in
+    Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
+      rounds;
+    let module S = (val Registry.find_crdt crdt) in
+    let module H = Harness.Make (S.C) in
+    (* Registry exclusions (cells that are not meaningful) come off
+       first; then, under an active fault plan, the ack-mode δ-buffer
+       joins the lineup — the delta variant built for lossy channels —
+       and capability masking drops what the plan overwhelms. *)
+    let sel =
+      List.fold_left
+        (fun sel name ->
+          if Option.is_some (S.excluded name) then Harness.disable sel name
+          else sel)
+        Harness.all_protocols Registry.protocol_names
+    in
+    let sel = { sel with Harness.delta_ack = Fault.active faults } in
+    let selection, skipped = H.mask_unsupported faults sel in
+    report_skipped skipped;
     let outcomes =
-      match crdt with
-      | "gset" ->
-          let module H = Harness.Make (Gset.Of_int) in
-          let selection, skipped =
-            H.mask_unsupported faults (base_selection Harness.all_protocols)
-          in
-          report_skipped skipped;
-          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
+      with_trace_sink trace_out (fun sink ->
+          (match sink with
+          | Some (s : Trace.sink) ->
+              s.Trace.meta
+                (Printf.sprintf "micro crdt=%s topology=%s nodes=%d rounds=%d"
+                   crdt topology nodes rounds)
+          | None -> ());
+          H.run ~selection ~faults ~domains ~bytes ?sink ~topology:topo
+            ~rounds
             ~ops:(fun ~round ~node state ->
-              Workload.gset ~nodes ~round ~node state)
-            ()
-      | "gcounter" ->
-          let module H = Harness.Make (Gcounter) in
-          let selection, skipped =
-            H.mask_unsupported faults (base_selection Harness.all_protocols)
-          in
-          report_skipped skipped;
-          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
-            ~ops:(fun ~round ~node state ->
-              Workload.gcounter ~round ~node state)
-            ()
-      | "gmap" ->
-          let module H = Harness.Make (Gmap.Versioned) in
-          let selection, skipped =
-            H.mask_unsupported faults (base_selection Harness.all_protocols)
-          in
-          report_skipped skipped;
-          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
-            ~ops:(fun ~round ~node state ->
-              Workload.gmap ~total_keys:1000 ~k ~nodes ~round ~node state)
-            ()
-      | "orset" ->
-          let module H = Harness.Make (Aw_set.Of_int) in
-          (* unique adds plus an observed-remove every third round; op-based
-             is excluded because Remove reads the local state. *)
-          let selection, skipped =
-            H.mask_unsupported faults
-              (base_selection { Harness.all_protocols with op_based = false })
-          in
-          report_skipped skipped;
-          H.run ~selection ~faults ~domains ~bytes ~topology:topo ~rounds
-            ~ops:(fun ~round ~node state ->
-              let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
-              if round mod 3 = 0 && node = 0 then
-                match Aw_set.Of_int.value state with
-                | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
-                | [] -> [ add ]
-              else [ add ])
-            ()
-      | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other)
+              S.micro_ops ~nodes ~k ~round ~node state)
+            ())
     in
     print_outcomes ~accounting:bytes outcomes;
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path
+          (micro_metrics_json ~crdt ~topology ~nodes ~rounds outcomes));
     convergence_verdict outcomes
   with Invalid_argument msg ->
     Printf.eprintf "error: %s\n" msg;
@@ -306,7 +354,9 @@ let micro_cmd =
     Arg.(
       value & opt string "gset"
       & info [ "crdt"; "c" ] ~docv:"CRDT"
-          ~doc:"Benchmark data type: gset, gcounter, gmap or orset.")
+          ~doc:
+            (Printf.sprintf "Benchmark data type: %s."
+               (String.concat ", " Registry.crdt_names)))
   in
   let k =
     Arg.(
@@ -318,24 +368,25 @@ let micro_cmd =
     (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
     Term.(
       const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k
-      $ domains_arg $ fault_term $ bytes_arg)
+      $ domains_arg $ fault_term $ bytes_arg $ trace_out_arg
+      $ metrics_out_arg)
 
 (* -- retwis ------------------------------------------------------------- *)
 
 let run_retwis zipf users topology nodes rounds domains faults bytes =
-  let topo = make_topology topology nodes in
-  Printf.printf
-    "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\
-     byte accounting: %s\n\n"
-    users zipf topology nodes rounds
-    (Metrics.accounting_name bytes);
-  let module Classic =
-    Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Classic_config) in
-  let module BpRr =
-    Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Bp_rr_config) in
-  let module Rc = Runner.Make (Classic) in
-  let module Rb = Runner.Make (BpRr) in
   try
+    let topo = Topology.of_name topology nodes in
+    Printf.printf
+      "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\
+       byte accounting: %s\n\n"
+      users zipf topology nodes rounds
+      (Metrics.accounting_name bytes);
+    let module Classic =
+      Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Classic_config) in
+    let module BpRr =
+      Crdt_retwis.Sharded_store.Delta (Crdt_proto.Delta_sync.Bp_rr_config) in
+    let module Rc = Runner.Make (Classic) in
+    let module Rb = Runner.Make (BpRr) in
     let wl () = Crdt_retwis.Workload.make ~seed:31 ~users ~coefficient:zipf in
     let w1 = wl () in
     let rc =
@@ -406,7 +457,8 @@ let retwis_cmd =
    dials every --peer, applies --ops deterministic operations (one per
    tick), synchronizes under the selected protocol, and exits once all
    replicas agree they are done.  --state-out writes the hex-encoded
-   canonical final state so an external check can compare replicas. *)
+   canonical final state so an external check can compare replicas;
+   --metrics-out writes this process's totals (same schema as micro). *)
 
 let to_hex s =
   let buf = Buffer.create (2 * String.length s) in
@@ -424,46 +476,23 @@ let parse_peer s =
       | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s))
   | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s)
 
-module Serve (C : Crdt_proto.Protocol_intf.CRDT) = struct
-  module type P_SIG =
-    Crdt_proto.Protocol_intf.PROTOCOL
-      with type crdt = C.t
-       and type op = C.op
-
-  let go ~protocol ~(cfg : Crdt_net.Runtime.config)
-      ~(ops : tick:int -> C.op list) ~state_out =
-    let run (p : (module P_SIG)) =
-      let module P = (val p) in
-      let module R = Crdt_net.Runtime.Make (P) in
-      let final = R.serve cfg ~ops in
-      Printf.printf "node %d: final state weight=%d bytes=%d (%s)\n"
-        cfg.Crdt_net.Runtime.id (C.weight final) (C.byte_size final)
-        P.protocol_name;
-      (match state_out with
-      | None -> ()
-      | Some path ->
-          let encoded = Crdt_wire.Codec.encode_to_string C.codec final in
-          let oc = open_out path in
-          output_string oc (to_hex encoded);
-          output_char oc '\n';
-          close_out oc);
-      0
-    in
-    let open Crdt_proto in
-    match protocol with
-    | "state" -> run (module State_sync.Make (C))
-    | "delta-classic" ->
-        run (module Delta_sync.Make (C) (Delta_sync.Classic_config))
-    | "delta-bp" -> run (module Delta_sync.Make (C) (Delta_sync.Bp_config))
-    | "delta-rr" -> run (module Delta_sync.Make (C) (Delta_sync.Rr_config))
-    | "delta-bp+rr" ->
-        run (module Delta_sync.Make (C) (Delta_sync.Bp_rr_config))
-    | other -> invalid_arg (Printf.sprintf "unknown protocol %S" other)
-end
-
 let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
-    max_ticks state_out verbose =
+    max_ticks lockstep state_out metrics_out trace_out verbose =
   try
+    let module S = (val Registry.find_crdt crdt) in
+    (match S.excluded protocol with
+    | Some reason ->
+        invalid_arg
+          (Printf.sprintf "%s cannot run %s: %s" crdt protocol reason)
+    | None -> ());
+    let maker = Registry.find_protocol protocol in
+    let module P =
+      (val Registry.instantiate maker
+             (module S.C : Crdt_proto.Protocol_intf.CRDT
+               with type t = S.C.t
+                and type op = S.C.op))
+    in
+    let module R = Crdt_net.Runtime.Make (P) in
     let listen = Crdt_net.Addr.parse_exn listen in
     let peers = List.map parse_peer peers in
     let cfg =
@@ -475,27 +504,41 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
         tick_ms;
         quiet_ticks;
         max_ticks;
+        lockstep;
         verbose;
       }
     in
-    match crdt with
-    | "gset" ->
-        let module S = Serve (Gset.Of_int) in
-        (* Per-tick elements are disjoint across replicas, so the final
-           cardinal is checkable: nodes * ops. *)
-        S.go ~protocol ~cfg
-          ~ops:(fun ~tick -> [ (id * 1_000_000) + tick ])
-          ~state_out
-    | "gcounter" ->
-        let module S = Serve (Gcounter) in
-        S.go ~protocol ~cfg ~ops:(fun ~tick:_ -> [ Gcounter.Inc 1 ]) ~state_out
-    | "gmap" ->
-        let module S = Serve (Gmap.Versioned) in
-        (* Contended keys: every replica bumps the same 50-key window. *)
-        S.go ~protocol ~cfg
-          ~ops:(fun ~tick -> [ Gmap.Versioned.Apply (tick mod 50, Version.Bump) ])
-          ~state_out
-    | other -> invalid_arg (Printf.sprintf "unknown CRDT %S" other)
+    let digest state =
+      Digest.string (Crdt_wire.Codec.encode_to_string S.C.codec state)
+    in
+    let res =
+      with_trace_sink trace_out (fun sink ->
+          (match sink with
+          | Some (s : Trace.sink) ->
+              s.Trace.meta
+                (Printf.sprintf "serve node=%d crdt=%s protocol=%s lockstep=%b"
+                   id crdt protocol lockstep)
+          | None -> ());
+          R.serve ?sink ~equal:S.C.equal ~digest cfg ~ops:(fun ~tick state ->
+              S.serve_ops ~id ~tick state))
+    in
+    let final = res.R.state in
+    Printf.printf "node %d: final state weight=%d bytes=%d (%s, %d ticks)\n"
+      id (S.C.weight final) (S.C.byte_size final) P.protocol_name res.R.ticks;
+    (match state_out with
+    | None -> ()
+    | Some path ->
+        let encoded = Crdt_wire.Codec.encode_to_string S.C.codec final in
+        write_file path (to_hex encoded ^ "\n"));
+    (match metrics_out with
+    | None -> ()
+    | Some path ->
+        write_file path
+          (Printf.sprintf
+             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"totals\":%s}\n"
+             crdt protocol id res.R.ticks res.R.clean
+             (counters_totals_json res.R.counters)));
+    if res.R.clean then 0 else 1
   with
   | Invalid_argument msg | Failure msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -526,15 +569,17 @@ let serve_cmd =
     Arg.(
       value & opt string "gset"
       & info [ "crdt"; "c" ] ~docv:"CRDT"
-          ~doc:"Replicated data type: gset, gcounter or gmap.")
+          ~doc:
+            (Printf.sprintf "Replicated data type: %s."
+               (String.concat ", " Registry.crdt_names)))
   in
   let protocol =
     Arg.(
       value & opt string "delta-bp+rr"
       & info [ "protocol"; "p" ] ~docv:"PROTO"
           ~doc:
-            "Synchronization protocol: state, delta-classic, delta-bp, \
-             delta-rr or delta-bp+rr.")
+            (Printf.sprintf "Synchronization protocol: %s."
+               (String.concat ", " Registry.protocol_names)))
   in
   let ops =
     Arg.(
@@ -553,13 +598,23 @@ let serve_cmd =
       value & opt int 5
       & info [ "quiet-ticks" ] ~docv:"K"
           ~doc:
-            "Consecutive traffic-free ticks (after the ops are done) \
-             before announcing completion to peers.")
+            "Consecutive ticks without local progress (ops pending or \
+             state changes) before announcing completion to peers.")
   in
   let max_ticks =
     Arg.(
       value & opt int 5000
       & info [ "max-ticks" ] ~docv:"T" ~doc:"Hard bound on the run length.")
+  in
+  let lockstep =
+    Arg.(
+      value & flag
+      & info [ "lockstep" ]
+          ~doc:
+            "Round-barrier mode: ticks advance when every peer's round \
+             marker arrives (instead of on a timer), the cluster stops on \
+             state-digest unanimity, and the round structure matches the \
+             simulator's exactly.")
   in
   let state_out =
     Arg.(
@@ -575,19 +630,24 @@ let serve_cmd =
        ~doc:"Run one live replica over real sockets (lib/net runtime)")
     Term.(
       const run_serve $ id $ listen $ peers $ crdt $ protocol $ ops $ tick_ms
-      $ quiet_ticks $ max_ticks $ state_out $ verbose)
+      $ quiet_ticks $ max_ticks $ lockstep $ state_out $ metrics_out_arg
+      $ trace_out_arg $ verbose)
 
 (* -- partition ---------------------------------------------------------- *)
 
 let run_partition shared divergence =
-  let module S = Gset.Of_string in
+  let module S = Crdt_core.Gset.Of_string in
   let module P = Crdt_proto.Partition_sync.Make (S) in
   let base =
     S.of_list (List.init shared (fun i -> Printf.sprintf "shared-%08d-%024d" i i))
   in
   let grow tag n s =
     List.fold_left
-      (fun s i -> S.add (Printf.sprintf "%s-%d" tag i) (Replica_id.of_int 0) s)
+      (fun s i ->
+        S.add
+          (Printf.sprintf "%s-%d" tag i)
+          (Crdt_core.Replica_id.of_int 0)
+          s)
       s (List.init n Fun.id)
   in
   let a = grow "a" divergence base in
@@ -625,16 +685,20 @@ let partition_cmd =
 (* -- topo --------------------------------------------------------------- *)
 
 let run_topo topology nodes =
-  let t = make_topology topology nodes in
-  Format.printf "%a@." Topology.pp t;
-  Printf.printf "acyclic: %b\n" (Topology.is_acyclic t);
-  List.iter
-    (fun i ->
-      Printf.printf "  node %2d: neighbors %s\n" i
-        (String.concat ", "
-           (List.map string_of_int (Topology.neighbors t i))))
-    (List.init (Topology.size t) Fun.id);
-  0
+  try
+    let t = Topology.of_name topology nodes in
+    Format.printf "%a@." Topology.pp t;
+    Printf.printf "acyclic: %b\n" (Topology.is_acyclic t);
+    List.iter
+      (fun i ->
+        Printf.printf "  node %2d: neighbors %s\n" i
+          (String.concat ", "
+             (List.map string_of_int (Topology.neighbors t i))))
+      (List.init (Topology.size t) Fun.id);
+    0
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
 
 let topo_cmd =
   Cmd.v

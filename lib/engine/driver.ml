@@ -1,0 +1,117 @@
+(* Transport-agnostic replica state machine; see driver.mli.
+
+   Accounting discipline (the single definition both drivers inherit):
+   delivery costs are computed on every [deliver] — the counting sink
+   needs them — while send costs are computed only for [detailed] sinks,
+   so the default counting/null paths never size outbound messages. *)
+
+module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
+  type t = {
+    id : int;
+    sink : Trace.sink;
+    exact : bool;
+    changed : (P.crdt -> P.crdt -> bool) option;
+    mutable node : P.node;
+    mutable down : bool;
+    mutable dirty : bool;
+    mutable ops_applied : int;
+  }
+
+  let create ?(sink = Trace.null) ?(exact_bytes = true) ?changed ~id
+      ~neighbors ~total () =
+    {
+      id;
+      sink;
+      exact = exact_bytes;
+      changed;
+      node = P.init ~id ~neighbors ~total;
+      down = false;
+      dirty = false;
+      ops_applied = 0;
+    }
+
+  let id t = t.id
+  let state t = P.state t.node
+  let down t = t.down
+  let dirty t = t.dirty
+  let clear_dirty t = t.dirty <- false
+
+  let apply t ops =
+    if t.down then 0
+    else begin
+      let n = ref 0 in
+      List.iter
+        (fun op ->
+          t.node <- P.local_update t.node op;
+          incr n)
+        ops;
+      if !n > 0 then t.dirty <- true;
+      t.ops_applied <- t.ops_applied + !n;
+      !n
+    end
+
+  let ops_applied t = t.ops_applied
+
+  let send_event t ~round ~dest msg =
+    let s = t.sink in
+    if s.detailed then
+      s.send ~src:t.id ~dest ~round ~weight:(P.payload_weight msg)
+        ~metadata:(P.metadata_weight msg)
+        ~payload_bytes:(P.payload_bytes msg)
+        ~metadata_bytes:(P.metadata_bytes msg)
+        ~wire_bytes:(if t.exact then P.message_wire_bytes msg else 0)
+    else
+      s.send ~src:t.id ~dest ~round ~weight:0 ~metadata:0 ~payload_bytes:0
+        ~metadata_bytes:0 ~wire_bytes:0
+
+  let tick t ~round ~emit =
+    if not t.down then begin
+      t.sink.tick ~node:t.id ~round;
+      let node, msgs = P.tick t.node in
+      t.node <- node;
+      List.iter
+        (fun (dest, msg) ->
+          send_event t ~round ~dest msg;
+          emit ~dest msg)
+        msgs
+    end
+
+  let deliver t ~round ~src ?(copies = 1) ~emit msg =
+    t.sink.recv ~node:t.id ~src ~round ~weight:(P.payload_weight msg)
+      ~metadata:(P.metadata_weight msg)
+      ~payload_bytes:(P.payload_bytes msg)
+      ~metadata_bytes:(P.metadata_bytes msg)
+      ~wire_bytes:(if t.exact then P.message_wire_bytes msg else 0);
+    for _ = 1 to copies do
+      t.sink.deliver ~node:t.id ~src ~round;
+      let prev = t.node in
+      let node, replies = P.handle prev ~src msg in
+      t.node <- node;
+      (match t.changed with
+      | Some changed when not t.dirty ->
+          if changed (P.state prev) (P.state node) then t.dirty <- true
+      | _ -> ());
+      List.iter
+        (fun (dest, m) ->
+          send_event t ~round ~dest m;
+          emit ~dest m)
+        replies
+    done
+
+  let crash t ~round =
+    t.down <- true;
+    t.node <- P.crash t.node;
+    t.sink.crash ~node:t.id ~round
+
+  let recover t ~round =
+    t.down <- false;
+    t.node <- P.recover t.node;
+    t.dirty <- true;
+    t.sink.recover ~node:t.id ~round
+
+  let finish t ~round = t.sink.finish ~node:t.id ~round
+  let work t = P.work t.node
+  let memory_weight t = P.memory_weight t.node
+  let memory_bytes t = P.memory_bytes t.node
+  let metadata_memory_bytes t = P.metadata_memory_bytes t.node
+end

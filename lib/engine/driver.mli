@@ -1,0 +1,85 @@
+(** Transport-agnostic replica state machine.
+
+    One {!Make.t} value is one replica of one protocol: it owns the
+    [P.node], applies operations, runs synchronization ticks, handles
+    received messages, and survives crash/restart — reporting every step
+    to a {!Trace.sink}.  Transports stay thin: the simulator's shard loop
+    and the socket runtime both reduce to "move the messages the driver
+    [emit]s and feed back what arrives", so the apply → tick → ship →
+    handle → replies cycle (and its accounting) is defined exactly once.
+
+    Outbound messages are reported through an [emit] callback rather
+    than returned as lists, so transports can push them straight into
+    their own buffers without intermediate allocation. *)
+
+module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) : sig
+  type t
+
+  val create :
+    ?sink:Trace.sink ->
+    ?exact_bytes:bool ->
+    ?changed:(P.crdt -> P.crdt -> bool) ->
+    id:int ->
+    neighbors:int list ->
+    total:int ->
+    unit ->
+    t
+  (** A fresh replica.  [exact_bytes] (default [true]) controls whether
+      [Send]/[Recv] events carry exact framed wire sizes
+      ([P.message_wire_bytes]) or 0.  [changed] enables dirty tracking:
+      when provided, {!dirty} reports whether any delivery since the last
+      {!clear_dirty} changed the CRDT state per [changed old new] (used
+      by the socket runtime's quiescence detection; costs one state
+      comparison per delivery, so the simulator leaves it off). *)
+
+  val id : t -> int
+  val state : t -> P.crdt
+  val down : t -> bool
+
+  val dirty : t -> bool
+  (** True when operations were applied or (under [changed]) a delivery
+      inflated the state since the last {!clear_dirty}. *)
+
+  val clear_dirty : t -> unit
+
+  val apply : t -> P.op list -> int
+  (** Apply local operations; returns how many were applied (0 when the
+      replica is down — a crashed node performs no operations). *)
+
+  val ops_applied : t -> int
+  (** Cumulative count over the replica's lifetime. *)
+
+  val tick : t -> round:int -> emit:(dest:int -> P.message -> unit) -> unit
+  (** One synchronization step: runs [P.tick], reports a [Tick] event and
+      a [Send] per outbound message, and hands each message to [emit].
+      No-op while down. *)
+
+  val deliver :
+    t ->
+    round:int ->
+    src:int ->
+    ?copies:int ->
+    emit:(dest:int -> P.message -> unit) ->
+    P.message ->
+    unit
+  (** Process a received message: one [Recv] event (with delivery-cost
+      accounting), then [copies] (default 1 — more under duplication
+      faults) applications of [P.handle], each reported as a [Deliver];
+      replies go through [emit] with their own [Send] events.  The caller
+      must not deliver to a down replica (messages to crashed nodes are
+      the transport's drops). *)
+
+  val crash : t -> round:int -> unit
+  (** [P.crash] + mark down + [Crash] event. *)
+
+  val recover : t -> round:int -> unit
+  (** [P.recover] + mark up (and dirty) + [Recover] event. *)
+
+  val finish : t -> round:int -> unit
+  (** Report a [Done] event (the replica converged / agreed to stop). *)
+
+  val work : t -> int
+  val memory_weight : t -> int
+  val memory_bytes : t -> int
+  val metadata_memory_bytes : t -> int
+end

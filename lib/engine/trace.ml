@@ -1,0 +1,307 @@
+(* Structured trace layer.  See trace.mli for the contract; the one
+   design rule here is that the hot path (a sink call per message) must
+   not allocate, which is why a sink is a record of closures over plain
+   labeled ints rather than an [event -> unit] consumer. *)
+
+type event =
+  | Meta of { note : string }
+  | Tick of { node : int; round : int }
+  | Send of {
+      src : int;
+      dest : int;
+      round : int;
+      weight : int;
+      metadata : int;
+      payload_bytes : int;
+      metadata_bytes : int;
+      wire_bytes : int;
+    }
+  | Recv of {
+      node : int;
+      src : int;
+      round : int;
+      weight : int;
+      metadata : int;
+      payload_bytes : int;
+      metadata_bytes : int;
+      wire_bytes : int;
+    }
+  | Deliver of { node : int; src : int; round : int }
+  | Drop of { node : int; src : int; round : int }
+  | Hold of { node : int; src : int; round : int }
+  | Cut of { node : int; src : int; round : int }
+  | Crash of { node : int; round : int }
+  | Recover of { node : int; round : int }
+  | Done of { node : int; round : int }
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let event_to_json = function
+  | Meta { note } -> Printf.sprintf {|{"ev":"meta","note":"%s"}|} (json_escape note)
+  | Tick { node; round } ->
+      Printf.sprintf {|{"ev":"tick","node":%d,"round":%d}|} node round
+  | Send
+      { src; dest; round; weight; metadata; payload_bytes; metadata_bytes;
+        wire_bytes } ->
+      Printf.sprintf
+        {|{"ev":"send","src":%d,"dest":%d,"round":%d,"weight":%d,"metadata":%d,"payload_bytes":%d,"metadata_bytes":%d,"wire_bytes":%d}|}
+        src dest round weight metadata payload_bytes metadata_bytes wire_bytes
+  | Recv
+      { node; src; round; weight; metadata; payload_bytes; metadata_bytes;
+        wire_bytes } ->
+      Printf.sprintf
+        {|{"ev":"recv","node":%d,"src":%d,"round":%d,"weight":%d,"metadata":%d,"payload_bytes":%d,"metadata_bytes":%d,"wire_bytes":%d}|}
+        node src round weight metadata payload_bytes metadata_bytes wire_bytes
+  | Deliver { node; src; round } ->
+      Printf.sprintf {|{"ev":"deliver","node":%d,"src":%d,"round":%d}|} node src
+        round
+  | Drop { node; src; round } ->
+      Printf.sprintf {|{"ev":"drop","node":%d,"src":%d,"round":%d}|} node src
+        round
+  | Hold { node; src; round } ->
+      Printf.sprintf {|{"ev":"hold","node":%d,"src":%d,"round":%d}|} node src
+        round
+  | Cut { node; src; round } ->
+      Printf.sprintf {|{"ev":"cut","node":%d,"src":%d,"round":%d}|} node src
+        round
+  | Crash { node; round } ->
+      Printf.sprintf {|{"ev":"crash","node":%d,"round":%d}|} node round
+  | Recover { node; round } ->
+      Printf.sprintf {|{"ev":"recover","node":%d,"round":%d}|} node round
+  | Done { node; round } ->
+      Printf.sprintf {|{"ev":"done","node":%d,"round":%d}|} node round
+
+type sink = {
+  detailed : bool;
+  meta : string -> unit;
+  tick : node:int -> round:int -> unit;
+  send :
+    src:int ->
+    dest:int ->
+    round:int ->
+    weight:int ->
+    metadata:int ->
+    payload_bytes:int ->
+    metadata_bytes:int ->
+    wire_bytes:int ->
+    unit;
+  recv :
+    node:int ->
+    src:int ->
+    round:int ->
+    weight:int ->
+    metadata:int ->
+    payload_bytes:int ->
+    metadata_bytes:int ->
+    wire_bytes:int ->
+    unit;
+  deliver : node:int -> src:int -> round:int -> unit;
+  drop : node:int -> src:int -> round:int -> unit;
+  hold : node:int -> src:int -> round:int -> unit;
+  cut : node:int -> src:int -> round:int -> unit;
+  crash : node:int -> round:int -> unit;
+  recover : node:int -> round:int -> unit;
+  finish : node:int -> round:int -> unit;
+}
+
+let null =
+  {
+    detailed = false;
+    meta = (fun _ -> ());
+    tick = (fun ~node:_ ~round:_ -> ());
+    send =
+      (fun ~src:_ ~dest:_ ~round:_ ~weight:_ ~metadata:_ ~payload_bytes:_
+           ~metadata_bytes:_ ~wire_bytes:_ -> ());
+    recv =
+      (fun ~node:_ ~src:_ ~round:_ ~weight:_ ~metadata:_ ~payload_bytes:_
+           ~metadata_bytes:_ ~wire_bytes:_ -> ());
+    deliver = (fun ~node:_ ~src:_ ~round:_ -> ());
+    drop = (fun ~node:_ ~src:_ ~round:_ -> ());
+    hold = (fun ~node:_ ~src:_ ~round:_ -> ());
+    cut = (fun ~node:_ ~src:_ ~round:_ -> ());
+    crash = (fun ~node:_ ~round:_ -> ());
+    recover = (fun ~node:_ ~round:_ -> ());
+    finish = (fun ~node:_ ~round:_ -> ());
+  }
+
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable messages : int;
+  mutable payload : int;
+  mutable metadata : int;
+  mutable payload_bytes : int;
+  mutable metadata_bytes : int;
+  mutable wire_bytes : int;
+  mutable ops_applied : int;
+  mutable dropped : int;
+  mutable held : int;
+  mutable partitioned : int;
+  mutable memory_weight : int;
+  mutable memory_bytes : int;
+  mutable metadata_memory_bytes : int;
+}
+
+let make_counters () =
+  {
+    sent = 0;
+    delivered = 0;
+    messages = 0;
+    payload = 0;
+    metadata = 0;
+    payload_bytes = 0;
+    metadata_bytes = 0;
+    wire_bytes = 0;
+    ops_applied = 0;
+    dropped = 0;
+    held = 0;
+    partitioned = 0;
+    memory_weight = 0;
+    memory_bytes = 0;
+    metadata_memory_bytes = 0;
+  }
+
+let reset_counters c =
+  c.sent <- 0;
+  c.delivered <- 0;
+  c.messages <- 0;
+  c.payload <- 0;
+  c.metadata <- 0;
+  c.payload_bytes <- 0;
+  c.metadata_bytes <- 0;
+  c.wire_bytes <- 0;
+  c.ops_applied <- 0;
+  c.dropped <- 0;
+  c.held <- 0;
+  c.partitioned <- 0;
+  c.memory_weight <- 0;
+  c.memory_bytes <- 0;
+  c.metadata_memory_bytes <- 0
+
+let counting c =
+  {
+    null with
+    send =
+      (fun ~src:_ ~dest:_ ~round:_ ~weight:_ ~metadata:_ ~payload_bytes:_
+           ~metadata_bytes:_ ~wire_bytes:_ -> c.sent <- c.sent + 1);
+    recv =
+      (fun ~node:_ ~src:_ ~round:_ ~weight ~metadata ~payload_bytes
+           ~metadata_bytes ~wire_bytes ->
+        c.messages <- c.messages + 1;
+        c.payload <- c.payload + weight;
+        c.metadata <- c.metadata + metadata;
+        c.payload_bytes <- c.payload_bytes + payload_bytes;
+        c.metadata_bytes <- c.metadata_bytes + metadata_bytes;
+        c.wire_bytes <- c.wire_bytes + wire_bytes);
+    deliver = (fun ~node:_ ~src:_ ~round:_ -> c.delivered <- c.delivered + 1);
+    drop = (fun ~node:_ ~src:_ ~round:_ -> c.dropped <- c.dropped + 1);
+    hold = (fun ~node:_ ~src:_ ~round:_ -> c.held <- c.held + 1);
+    cut = (fun ~node:_ ~src:_ ~round:_ -> c.partitioned <- c.partitioned + 1);
+  }
+
+let tee a b =
+  {
+    detailed = a.detailed || b.detailed;
+    meta = (fun s -> a.meta s; b.meta s);
+    tick = (fun ~node ~round -> a.tick ~node ~round; b.tick ~node ~round);
+    send =
+      (fun ~src ~dest ~round ~weight ~metadata ~payload_bytes ~metadata_bytes
+           ~wire_bytes ->
+        a.send ~src ~dest ~round ~weight ~metadata ~payload_bytes
+          ~metadata_bytes ~wire_bytes;
+        b.send ~src ~dest ~round ~weight ~metadata ~payload_bytes
+          ~metadata_bytes ~wire_bytes);
+    recv =
+      (fun ~node ~src ~round ~weight ~metadata ~payload_bytes ~metadata_bytes
+           ~wire_bytes ->
+        a.recv ~node ~src ~round ~weight ~metadata ~payload_bytes
+          ~metadata_bytes ~wire_bytes;
+        b.recv ~node ~src ~round ~weight ~metadata ~payload_bytes
+          ~metadata_bytes ~wire_bytes);
+    deliver =
+      (fun ~node ~src ~round ->
+        a.deliver ~node ~src ~round;
+        b.deliver ~node ~src ~round);
+    drop =
+      (fun ~node ~src ~round ->
+        a.drop ~node ~src ~round;
+        b.drop ~node ~src ~round);
+    hold =
+      (fun ~node ~src ~round ->
+        a.hold ~node ~src ~round;
+        b.hold ~node ~src ~round);
+    cut =
+      (fun ~node ~src ~round ->
+        a.cut ~node ~src ~round;
+        b.cut ~node ~src ~round);
+    crash = (fun ~node ~round -> a.crash ~node ~round; b.crash ~node ~round);
+    recover =
+      (fun ~node ~round -> a.recover ~node ~round; b.recover ~node ~round);
+    finish =
+      (fun ~node ~round -> a.finish ~node ~round; b.finish ~node ~round);
+  }
+
+let event_sink ?(detailed = true) f =
+  {
+    detailed;
+    meta = (fun note -> f (Meta { note }));
+    tick = (fun ~node ~round -> f (Tick { node; round }));
+    send =
+      (fun ~src ~dest ~round ~weight ~metadata ~payload_bytes ~metadata_bytes
+           ~wire_bytes ->
+        f
+          (Send
+             {
+               src;
+               dest;
+               round;
+               weight;
+               metadata;
+               payload_bytes;
+               metadata_bytes;
+               wire_bytes;
+             }));
+    recv =
+      (fun ~node ~src ~round ~weight ~metadata ~payload_bytes ~metadata_bytes
+           ~wire_bytes ->
+        f
+          (Recv
+             {
+               node;
+               src;
+               round;
+               weight;
+               metadata;
+               payload_bytes;
+               metadata_bytes;
+               wire_bytes;
+             }));
+    deliver = (fun ~node ~src ~round -> f (Deliver { node; src; round }));
+    drop = (fun ~node ~src ~round -> f (Drop { node; src; round }));
+    hold = (fun ~node ~src ~round -> f (Hold { node; src; round }));
+    cut = (fun ~node ~src ~round -> f (Cut { node; src; round }));
+    crash = (fun ~node ~round -> f (Crash { node; round }));
+    recover = (fun ~node ~round -> f (Recover { node; round }));
+    finish = (fun ~node ~round -> f (Done { node; round }));
+  }
+
+let jsonl oc =
+  let emit ev =
+    output_string oc (event_to_json ev);
+    output_char oc '\n';
+    match ev with Meta _ | Done _ -> flush oc | _ -> ()
+  in
+  event_sink ~detailed:true emit

@@ -1,0 +1,147 @@
+(** Structured trace layer: typed replica events with pluggable sinks.
+
+    Every driver (the round-based simulator, the socket runtime) reports
+    what happens to a replica through one {!sink}; what a sink does with
+    the events is its own business:
+
+    - {!null} ignores everything (the zero-cost default);
+    - {!counting} folds the events into a {!counters} record — this {e is}
+      the metrics accumulation both drivers share, so byte accounting is
+      defined exactly once;
+    - {!jsonl} writes one JSON object per event (the [--trace-out] format);
+    - {!tee} duplicates events to two sinks.
+
+    The hot path never allocates an {!event}: a sink is a record of
+    closures taking plain labeled arguments, and drivers call the fields
+    directly.  The {!event} variant exists for consumers that want values
+    (the JSONL sink builds them, tests pattern-match them); {!sink_of} and
+    {!event_sink} convert between the two representations. *)
+
+(** One replica-level event.  [round] is the simulator round or the
+    runtime tick in which the event happened.  Cost fields on [Send] and
+    [Recv] follow the {!Crdt_sim.Metrics} conventions: [weight]/[metadata]
+    count lattice elements and metadata units, the byte fields are the
+    estimate model, and [wire_bytes] is the exact framed size (0 when the
+    driver runs estimate-only accounting). *)
+type event =
+  | Meta of { note : string }  (** free-form run annotation. *)
+  | Tick of { node : int; round : int }
+  | Send of {
+      src : int;
+      dest : int;
+      round : int;
+      weight : int;
+      metadata : int;
+      payload_bytes : int;
+      metadata_bytes : int;
+      wire_bytes : int;
+    }
+  | Recv of {
+      node : int;
+      src : int;
+      round : int;
+      weight : int;
+      metadata : int;
+      payload_bytes : int;
+      metadata_bytes : int;
+      wire_bytes : int;
+    }  (** a message was accepted for delivery (counted once even when
+          fault injection duplicates it). *)
+  | Deliver of { node : int; src : int; round : int }
+      (** one [P.handle] application (≥ 1 per accepted message). *)
+  | Drop of { node : int; src : int; round : int }
+  | Hold of { node : int; src : int; round : int }
+      (** captured by a per-link delay; delivered in a later round. *)
+  | Cut of { node : int; src : int; round : int }
+      (** discarded by an active partition. *)
+  | Crash of { node : int; round : int }
+  | Recover of { node : int; round : int }
+  | Done of { node : int; round : int }
+      (** the replica finished (converged / agreed to stop). *)
+
+val event_to_json : event -> string
+(** One-line JSON object, e.g.
+    [{"ev":"send","src":0,"dest":1,"round":3,"weight":2,...}]. *)
+
+(** Allocation-free event consumer.  [detailed] tells drivers whether to
+    compute the cost fields of [send] (delivery costs are always
+    computed — the counting sink needs them); sinks that ignore [Send]
+    costs set it to [false] so the hot path skips the work. *)
+type sink = {
+  detailed : bool;
+  meta : string -> unit;
+  tick : node:int -> round:int -> unit;
+  send :
+    src:int ->
+    dest:int ->
+    round:int ->
+    weight:int ->
+    metadata:int ->
+    payload_bytes:int ->
+    metadata_bytes:int ->
+    wire_bytes:int ->
+    unit;
+  recv :
+    node:int ->
+    src:int ->
+    round:int ->
+    weight:int ->
+    metadata:int ->
+    payload_bytes:int ->
+    metadata_bytes:int ->
+    wire_bytes:int ->
+    unit;
+  deliver : node:int -> src:int -> round:int -> unit;
+  drop : node:int -> src:int -> round:int -> unit;
+  hold : node:int -> src:int -> round:int -> unit;
+  cut : node:int -> src:int -> round:int -> unit;
+  crash : node:int -> round:int -> unit;
+  recover : node:int -> round:int -> unit;
+  finish : node:int -> round:int -> unit;  (** emits {!Done}. *)
+}
+
+val null : sink
+(** Ignores everything; [detailed = false]. *)
+
+(** Additive tallies in the {!Crdt_sim.Metrics} sense: message counts and
+    transmission costs bump at {e delivery} ([recv]), never at send, so a
+    dropped message costs nothing; [sent] counts send attempts and
+    [delivered] counts handle applications (duplicates included).  The
+    three [memory_*] fields are snapshots drivers set directly — the
+    counting sink never touches them. *)
+type counters = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable messages : int;
+  mutable payload : int;
+  mutable metadata : int;
+  mutable payload_bytes : int;
+  mutable metadata_bytes : int;
+  mutable wire_bytes : int;
+  mutable ops_applied : int;
+  mutable dropped : int;
+  mutable held : int;
+  mutable partitioned : int;
+  mutable memory_weight : int;
+  mutable memory_bytes : int;
+  mutable metadata_memory_bytes : int;
+}
+
+val make_counters : unit -> counters
+val reset_counters : counters -> unit
+
+val counting : counters -> sink
+(** The shared accounting path: [recv] adds the message and its costs,
+    [drop]/[hold]/[cut] bump the fault tallies, [send]/[deliver] bump
+    their counts; everything else is ignored.  [detailed = false]. *)
+
+val tee : sink -> sink -> sink
+(** Events go to both sinks; [detailed] is the disjunction. *)
+
+val event_sink : ?detailed:bool -> (event -> unit) -> sink
+(** Wrap an event consumer as a sink (allocates one {!event} per call);
+    [detailed] defaults to [true]. *)
+
+val jsonl : out_channel -> sink
+(** Writes {!event_to_json} lines to the channel; [detailed = true].
+    The channel is flushed on [finish] and [meta], not per event. *)

@@ -8,40 +8,80 @@
     dialer's node id, which is how the accepting side attributes
     subsequent protocol messages to a source replica.
 
+    The replica itself is a {!Crdt_engine.Driver}: this module only
+    moves frames between sockets and the driver, so the apply → tick →
+    ship → handle cycle (and all byte accounting) is the same code the
+    simulator runs.  Accounting follows the simulator's convention —
+    protocol messages are tallied at {e delivery} through the driver's
+    trace sink; [Hello]/[Done]/[Mark]/[Digest] control frames are
+    free — so a cluster's summed [wire_bytes] is directly comparable to
+    a {!Crdt_sim.Runner} total for the same workload.
+
+    {2 Wall-clock mode}
+
     The loop is a [select] over the listening socket and all inbound
     connections, with a periodic tick (the protocol's synchronization
-    interval): each tick applies the workload operations due, runs
-    [P.tick] and ships the outbound messages; inbound frames are decoded
-    and dispatched through [P.handle], whose replies are sent
+    interval): each tick applies the workload operations due, runs the
+    driver's tick and ships the outbound messages; inbound frames are
+    decoded and delivered through the driver, whose replies are sent
     immediately.
 
-    {2 Termination}
+    Replicas stop by mutual agreement rather than a wall clock.  A node
+    is {e busy} while it still has operations to apply or its CRDT state
+    changed since the last tick (the driver's dirty bit, fed by a
+    state-equality check on every delivery); chatter alone — protocols
+    like state-based or scuttlebutt ship messages every interval forever
+    — does not count, which is what lets every registered protocol
+    terminate here.  After [quiet_ticks] consecutive non-busy ticks a
+    node broadcasts [Done] but keeps serving; it exits once it is quiet
+    {e and} has received [Done] from every peer.  Send failures after a
+    peer's [Done] are expected (the peer may already have exited) and
+    ignored.  [max_ticks] bounds the run as a failsafe.
 
-    Replicas stop by mutual agreement rather than a wall clock: once a
-    node has applied all its operations and observed [quiet_ticks]
-    consecutive ticks with no traffic in either direction (its δ-buffers
-    are drained and acknowledged), it broadcasts a [Done] announcement
-    but keeps serving.  It exits only when it is quiet {e and} has
-    received [Done] from every peer — at which point no peer can have
-    anything left to send it.  Send failures after a peer's [Done] are
-    expected (the peer may already have exited) and ignored.
-    [max_ticks] bounds the run as a failsafe. *)
+    {2 Lockstep mode}
+
+    With [lockstep] set, ticks are driven by {e round barriers} instead
+    of the clock, making a socket cluster reproduce the simulator's
+    round structure exactly.  Per round [r], a node ships the replies
+    buffered from round [r-1], applies the round's operations, runs the
+    driver tick, then broadcasts a [Mark r] frame: since each TCP
+    connection is FIFO, a peer that has seen [Mark r] on a connection
+    has necessarily seen every round-[r] message sent on it.  Messages
+    arriving on a connection are tagged with the number of marks seen so
+    far on it, which is exactly their round.  Once marks for round [r]
+    are in from every peer, the round's messages are delivered (replies
+    buffered for round [r+1]) and the node broadcasts a [Digest r] frame
+    carrying [(ops_done, digest-of-state)]; when digests for round [r]
+    are in from every peer, everyone decides identically: stop iff all
+    replicas are done generating operations and all digests agree.
+    Digest exchange is itself a barrier, so a peer can run at most one
+    round ahead, and the message/mark tagging above stays unambiguous.
+
+    For protocols whose handlers send no replies (the delta family
+    without acks, state-based), a lockstep run is message-for-message
+    identical to the simulator on the same workload — the basis of the
+    sim-vs-socket cross-check in the test suite. *)
+
+module Trace = Crdt_engine.Trace
 
 (* Frame kinds on the wire (the Frame layer's dispatch byte). *)
 let kind_hello = 0
 let kind_message = 1
 let kind_done = 2
+let kind_mark = 3
+let kind_digest = 4
 
 type config = {
   id : int;  (** this replica's node id. *)
   listen : Addr.t;
   peers : (int * Addr.t) list;  (** peer node id ↦ its listen address. *)
   total : int;  (** total replica count (for [P.init]). *)
-  tick_ms : int;  (** synchronization interval. *)
+  tick_ms : int;  (** synchronization interval (wall-clock mode). *)
   ops_ticks : int;  (** ticks during which operations are generated. *)
   quiet_ticks : int;  (** quiet ticks required before announcing Done. *)
   max_ticks : int;  (** hard bound on the run. *)
   dial_timeout_s : float;  (** how long to retry dialing each peer. *)
+  lockstep : bool;  (** round-barrier mode instead of wall-clock ticks. *)
   verbose : bool;
 }
 
@@ -56,23 +96,56 @@ let default_config ~id ~listen ~peers ~total =
     quiet_ticks = 5;
     max_ticks = 5000;
     dial_timeout_s = 10.;
+    lockstep = false;
     verbose = false;
   }
 
 let id_payload id =
   Crdt_wire.Codec.encode_to_string Crdt_wire.Codec.varint id
 
+(* Lockstep digest payload: round, (done generating ops, state digest). *)
+let digest_codec =
+  Crdt_wire.Codec.(pair varint (pair bool string))
+
 module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
+  module D = Crdt_engine.Driver.Make (P)
+
+  type result = {
+    state : P.crdt;
+    ticks : int;  (** ticks (or lockstep rounds) executed. *)
+    counters : Trace.counters;
+        (** the run's tallies, same accounting as the simulator's
+            per-round records: received protocol messages with their
+            payload/metadata/wire costs, plus final memory sizes. *)
+    ops_applied : int;
+    clean : bool;
+        (** whether the run terminated by agreement (mutual [Done] /
+            digest unanimity) rather than the [max_ticks] failsafe. *)
+  }
+
+  type inbound = {
+    conn : Conn.t;
+    peer : int option ref;  (** learned from the Hello frame. *)
+    mutable marks : int;  (** lockstep: mark frames seen on this conn. *)
+  }
+
   type state = {
     cfg : config;
-    mutable node : P.node;
+    drv : D.t;
     out : (int, Conn.t) Hashtbl.t;  (** peer id ↦ dialed connection. *)
-    mutable inbound : (Conn.t * int option ref) list;
-        (** accepted connections with the peer id learned from Hello. *)
+    mutable inbound : inbound list;
+        (** accepted connections; pruned when a peer closes. *)
     peer_done : (int, unit) Hashtbl.t;
-    mutable activity : bool;  (** traffic since the last tick. *)
     mutable quiet : int;
     mutable done_sent : bool;
+    (* Lockstep bookkeeping. *)
+    msgq : (int, (int * string) list ref) Hashtbl.t;
+        (** round ↦ (src, undecoded payload) in arrival order. *)
+    marks_of : (int, int) Hashtbl.t;  (** peer id ↦ marks received. *)
+    digests : (int * int, bool * string) Hashtbl.t;
+        (** (round, peer id) ↦ its (ops_done, digest). *)
+    mutable pending_out : (int * P.message) list;
+        (** lockstep replies buffered for the next round, reversed. *)
   }
 
   let log st fmt =
@@ -117,17 +190,23 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         | Error m ->
             failwith (Printf.sprintf "send to peer %d failed: %s" dest m))
 
-  let handle_message st ~src payload =
+  let broadcast st ~kind payload ~ignore_dead =
+    Hashtbl.iter
+      (fun j conn ->
+        match Conn.send conn ~kind payload with
+        | Ok () -> ()
+        | Error m when ignore_dead -> log st "send to peer %d failed (%s)" j m
+        | Error m ->
+            failwith (Printf.sprintf "send to peer %d failed: %s" j m))
+      st.out
+
+  let decode_message ~src payload =
     match Crdt_wire.Codec.decode_string P.message_codec payload with
+    | Ok msg -> msg
     | Error e ->
         failwith
           (Printf.sprintf "bad message from peer %d: %s" src
              (Crdt_wire.Codec.error_to_string e))
-    | Ok msg ->
-        st.activity <- true;
-        let node, replies = P.handle st.node ~src msg in
-        st.node <- node;
-        List.iter (fun (dest, reply) -> ship st dest reply) replies
 
   let decode_id payload =
     match Crdt_wire.Codec.decode_string Crdt_wire.Codec.varint payload with
@@ -135,74 +214,299 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     | Error e ->
         failwith ("bad peer id payload: " ^ Crdt_wire.Codec.error_to_string e)
 
-  let handle_frame st peer_ref (kind, payload) =
-    if kind = kind_hello then peer_ref := Some (decode_id payload)
+  let src_of ib =
+    match !(ib.peer) with
+    | Some src -> src
+    | None -> failwith "protocol frame before Hello"
+
+  (* Wall-clock frame dispatch: messages go straight through the driver,
+     replies ship immediately.  [tick] is the current tick number, used
+     as the trace round. *)
+  let handle_frame_wallclock st ~tick ib (kind, payload) =
+    if kind = kind_hello then ib.peer := Some (decode_id payload)
     else if kind = kind_done then begin
       let j = decode_id payload in
       log st "peer %d done" j;
       Hashtbl.replace st.peer_done j ()
     end
-    else if kind = kind_message then
-      match !peer_ref with
-      | Some src -> handle_message st ~src payload
-      | None -> failwith "protocol message before Hello"
+    else if kind = kind_message then begin
+      let src = src_of ib in
+      D.deliver st.drv ~round:tick ~src
+        ~emit:(fun ~dest m -> ship st dest m)
+        (decode_message ~src payload)
+    end
     else failwith (Printf.sprintf "unknown frame kind %d" kind)
 
-  let service_inbound st conn peer_ref =
-    match Conn.recv conn with
-    | Ok frames -> List.iter (handle_frame st peer_ref) frames
-    | Error `Closed ->
-        (* Peers close their dialed connections when they exit; their
-           Done announcement has already been processed by then. *)
-        log st "inbound connection closed"
-    | Error (`Bad e) ->
-        failwith ("framing error: " ^ Crdt_wire.Codec.error_to_string e)
-
-  let tick st ~n ~ops =
-    if n < st.cfg.ops_ticks then
-      List.iter
-        (fun op -> st.node <- P.local_update st.node op)
-        (ops ~tick:n);
-    let node, msgs = P.tick st.node in
-    st.node <- node;
-    List.iter (fun (dest, msg) -> ship st dest msg) msgs;
-    let busy = st.activity || msgs <> [] || n < st.cfg.ops_ticks in
-    st.activity <- false;
-    st.quiet <- (if busy then 0 else st.quiet + 1);
-    if (not st.done_sent) && st.quiet >= st.cfg.quiet_ticks then begin
-      st.done_sent <- true;
-      log st "quiet for %d ticks; announcing done" st.quiet;
-      Hashtbl.iter
-        (fun j conn ->
-          match Conn.send conn ~kind:kind_done (id_payload st.cfg.id) with
-          | Ok () -> ()
-          | Error m -> log st "done to peer %d failed (%s)" j m)
-        st.out
+  (* Lockstep frame dispatch: messages are queued under the round the
+     connection's mark count implies; marks and digests update the
+     barrier bookkeeping.  Nothing is delivered here — the round loop
+     drains the queue once the mark barrier is complete. *)
+  let handle_frame_lockstep st ib (kind, payload) =
+    if kind = kind_hello then ib.peer := Some (decode_id payload)
+    else if kind = kind_message then begin
+      let src = src_of ib in
+      let q =
+        match Hashtbl.find_opt st.msgq ib.marks with
+        | Some q -> q
+        | None ->
+            let q = ref [] in
+            Hashtbl.replace st.msgq ib.marks q;
+            q
+      in
+      q := (src, payload) :: !q
     end
+    else if kind = kind_mark then begin
+      let r = decode_id payload in
+      if r <> ib.marks then
+        failwith
+          (Printf.sprintf "out-of-order mark: got round %d, expected %d" r
+             ib.marks);
+      ib.marks <- ib.marks + 1;
+      let src = src_of ib in
+      Hashtbl.replace st.marks_of src ib.marks
+    end
+    else if kind = kind_digest then begin
+      let src = src_of ib in
+      match Crdt_wire.Codec.decode_string digest_codec payload with
+      | Ok (r, d) -> Hashtbl.replace st.digests (r, src) d
+      | Error e ->
+          failwith
+            (Printf.sprintf "bad digest from peer %d: %s" src
+               (Crdt_wire.Codec.error_to_string e))
+    end
+    else if kind = kind_done then ()
+    else failwith (Printf.sprintf "unknown frame kind %d" kind)
+
+  (* One select pass: accept new connections, read every readable
+     inbound connection, dispatch its complete frames, and prune
+     connections the peers closed (the former leak: a closed connection
+     used to stay in the list and be selected forever).  Returns whether
+     any frame was processed. *)
+  let pump st listener ~timeout ~dispatch =
+    let readable =
+      let fds =
+        listener
+        :: List.filter_map
+             (fun ib -> if Conn.alive ib.conn then Some (Conn.fd ib.conn) else None)
+             st.inbound
+      in
+      match Unix.select fds [] [] timeout with
+      | r, _, _ -> r
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    in
+    let progressed = ref false in
+    List.iter
+      (fun fd ->
+        if fd == listener then begin
+          let peer_fd, _ = Unix.accept listener in
+          st.inbound <-
+            { conn = Conn.create peer_fd; peer = ref None; marks = 0 }
+            :: st.inbound
+        end
+        else
+          match
+            List.find_opt (fun ib -> Conn.fd ib.conn == fd) st.inbound
+          with
+          | Some ib -> (
+              match Conn.recv ib.conn with
+              | Ok frames ->
+                  List.iter
+                    (fun f ->
+                      progressed := true;
+                      dispatch ib f)
+                    frames
+              | Error `Closed ->
+                  (* Peers close their dialed connections when they
+                     exit; drop the connection below. *)
+                  log st "inbound connection closed"
+              | Error (`Bad e) ->
+                  failwith
+                    ("framing error: " ^ Crdt_wire.Codec.error_to_string e))
+          | None -> ())
+      readable;
+    if List.exists (fun ib -> not (Conn.alive ib.conn)) st.inbound then
+      st.inbound <- List.filter (fun ib -> Conn.alive ib.conn) st.inbound;
+    !progressed
 
   let finished st =
     st.done_sent
     && st.quiet >= st.cfg.quiet_ticks
     && List.for_all (fun (j, _) -> Hashtbl.mem st.peer_done j) st.cfg.peers
 
-  (** Run the replica to completion and return its final CRDT state.
-      [ops ~tick] lists the operations this replica applies at tick
-      [tick] (consulted for ticks [0 .. ops_ticks)). *)
-  let serve (cfg : config) ~(ops : tick:int -> P.op list) : P.crdt =
+  (* Wall-clock tick: operations, driver tick (ships directly), then the
+     quiescence accounting on the driver's dirty bit. *)
+  let tick_wallclock st ~n ~ops =
+    if n < st.cfg.ops_ticks then
+      ignore (D.apply st.drv (ops ~tick:n (D.state st.drv)));
+    D.tick st.drv ~round:n ~emit:(fun ~dest m -> ship st dest m);
+    let busy = n < st.cfg.ops_ticks || D.dirty st.drv in
+    D.clear_dirty st.drv;
+    st.quiet <- (if busy then 0 else st.quiet + 1);
+    if (not st.done_sent) && st.quiet >= st.cfg.quiet_ticks then begin
+      st.done_sent <- true;
+      log st "quiet for %d ticks; announcing done" st.quiet;
+      broadcast st ~kind:kind_done (id_payload st.cfg.id) ~ignore_dead:true
+    end
+
+  let serve_wallclock st listener ~ops =
+    let tick_s = float_of_int st.cfg.tick_ms /. 1000. in
+    let next_tick = ref (Unix.gettimeofday () +. tick_s) in
+    let n = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let timeout = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
+      ignore
+        (pump st listener ~timeout
+           ~dispatch:(handle_frame_wallclock st ~tick:!n));
+      let now = Unix.gettimeofday () in
+      if now >= !next_tick then begin
+        tick_wallclock st ~n:!n ~ops;
+        incr n;
+        (* Catch up at most one interval: after a stall (a long select
+           burst, a debugger pause) the old [+. tick_s] accumulation
+           would fire a burst of zero-delay ticks, each eating into the
+           quiet count; resynchronize to the clock instead. *)
+        let due = !next_tick +. tick_s in
+        next_tick := (if due < now then now +. tick_s else due);
+        if finished st then result := Some true
+        else if !n >= st.cfg.max_ticks then begin
+          Printf.eprintf "node %d: max_ticks (%d) reached before shutdown\n%!"
+            st.cfg.id st.cfg.max_ticks;
+          result := Some false
+        end
+      end
+    done;
+    (Option.get !result, !n)
+
+  (* Lockstep helpers: block on the select loop until [cond] holds,
+     failing loudly if the cluster stops making progress. *)
+  let lockstep_wait st listener ~what ~cond =
+    let stall_s = 30. in
+    let last_progress = ref (Unix.gettimeofday ()) in
+    while not (cond ()) do
+      if pump st listener ~timeout:1.0 ~dispatch:(handle_frame_lockstep st)
+      then last_progress := Unix.gettimeofday ()
+      else if Unix.gettimeofday () -. !last_progress > stall_s then
+        failwith
+          (Printf.sprintf "lockstep stalled for %.0fs waiting for %s" stall_s
+             what)
+    done
+
+  let serve_lockstep st listener ~digest ~ops =
+    let peer_ids = List.map fst st.cfg.peers in
+    let r = ref 0 in
+    let result = ref None in
+    while !result = None do
+      let round = !r in
+      (* Replies buffered while waiting on the previous round's barrier
+         belong to this round's wave. *)
+      List.iter (fun (dest, m) -> ship st dest m) (List.rev st.pending_out);
+      st.pending_out <- [];
+      if round < st.cfg.ops_ticks then
+        ignore (D.apply st.drv (ops ~tick:round (D.state st.drv)));
+      D.tick st.drv ~round ~emit:(fun ~dest m -> ship st dest m);
+      broadcast st ~kind:kind_mark (id_payload round) ~ignore_dead:false;
+      lockstep_wait st listener
+        ~what:(Printf.sprintf "round %d marks" round)
+        ~cond:(fun () ->
+          List.for_all
+            (fun j ->
+              match Hashtbl.find_opt st.marks_of j with
+              | Some m -> m > round
+              | None -> false)
+            peer_ids);
+      (* The mark barrier bounds the wave: every round-[round] message
+         is queued.  Deliver them; replies wait for the next round. *)
+      (match Hashtbl.find_opt st.msgq round with
+      | None -> ()
+      | Some q ->
+          List.iter
+            (fun (src, payload) ->
+              D.deliver st.drv ~round ~src
+                ~emit:(fun ~dest m ->
+                  st.pending_out <- (dest, m) :: st.pending_out)
+                (decode_message ~src payload))
+            (List.rev !q);
+          Hashtbl.remove st.msgq round);
+      let ops_done = round + 1 >= st.cfg.ops_ticks in
+      let my_digest = digest (D.state st.drv) in
+      broadcast st ~kind:kind_digest
+        (Crdt_wire.Codec.encode_to_string digest_codec
+           (round, (ops_done, my_digest)))
+        ~ignore_dead:false;
+      lockstep_wait st listener
+        ~what:(Printf.sprintf "round %d digests" round)
+        ~cond:(fun () ->
+          List.for_all
+            (fun j -> Hashtbl.mem st.digests (round, j))
+            peer_ids);
+      let all_done =
+        ops_done
+        && List.for_all
+             (fun j -> fst (Hashtbl.find st.digests (round, j)))
+             peer_ids
+      and all_agree =
+        List.for_all
+          (fun j -> String.equal (snd (Hashtbl.find st.digests (round, j))) my_digest)
+          peer_ids
+      in
+      List.iter (fun j -> Hashtbl.remove st.digests (round, j)) peer_ids;
+      incr r;
+      if all_done && all_agree then begin
+        D.finish st.drv ~round;
+        result := Some true
+      end
+      else if !r >= st.cfg.max_ticks then begin
+        Printf.eprintf
+          "node %d: max_ticks (%d) reached before lockstep agreement\n%!"
+          st.cfg.id st.cfg.max_ticks;
+        result := Some false
+      end
+    done;
+    (Option.get !result, !r)
+
+  (** Run the replica to completion.
+
+      [ops ~tick state] lists the operations this replica applies at
+      tick [tick] given its current state (consulted for ticks
+      [0 .. ops_ticks)).  [equal] feeds the driver's dirty tracking
+      (wall-clock quiescence); [digest] must be a canonical fingerprint
+      of the CRDT state — equal states must digest equally across
+      processes — and drives lockstep termination.  [sink] attaches a
+      trace sink (e.g. a JSONL writer) on top of the runtime's internal
+      counting sink. *)
+  let serve ?sink ~(equal : P.crdt -> P.crdt -> bool)
+      ~(digest : P.crdt -> string) (cfg : config)
+      ~(ops : tick:int -> P.crdt -> P.op list) : result =
     (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
     | _ -> ()
     | exception (Invalid_argument _ | Sys_error _) -> ());
+    let counters = Trace.make_counters () in
+    let counting = Trace.counting counters in
+    let sink =
+      match sink with
+      | None -> counting
+      | Some user -> Trace.tee counting user
+    in
     let neighbors = List.map fst cfg.peers in
+    let drv =
+      D.create ~sink ~exact_bytes:true
+        ~changed:(fun a b -> not (equal a b))
+        ~id:cfg.id ~neighbors ~total:cfg.total ()
+    in
     let st =
       {
         cfg;
-        node = P.init ~id:cfg.id ~neighbors ~total:cfg.total;
+        drv;
         out = Hashtbl.create (List.length cfg.peers);
         inbound = [];
         peer_done = Hashtbl.create (List.length cfg.peers);
-        activity = false;
         quiet = 0;
         done_sent = false;
+        msgq = Hashtbl.create 8;
+        marks_of = Hashtbl.create (List.length cfg.peers);
+        digests = Hashtbl.create 8;
+        pending_out = [];
       }
     in
     Addr.cleanup cfg.listen;
@@ -216,51 +520,23 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     (* Dial-all barrier: every peer must be reachable before the first
        tick, so no protocol message is ever emitted into the void. *)
     List.iter (dial st) cfg.peers;
-    let tick_s = float_of_int cfg.tick_ms /. 1000. in
-    let next_tick = ref (Unix.gettimeofday () +. tick_s) in
-    let n = ref 0 in
-    let result = ref None in
-    while !result = None do
-      let timeout = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
-      let readable =
-        let fds =
-          listener
-          :: List.filter_map
-               (fun (c, _) -> if Conn.alive c then Some (Conn.fd c) else None)
-               st.inbound
-        in
-        match Unix.select fds [] [] timeout with
-        | r, _, _ -> r
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-      in
-      List.iter
-        (fun fd ->
-          if fd == listener then begin
-            let peer_fd, _ = Unix.accept listener in
-            st.inbound <- (Conn.create peer_fd, ref None) :: st.inbound
-          end
-          else
-            match
-              List.find_opt (fun (c, _) -> Conn.fd c == fd) st.inbound
-            with
-            | Some (conn, peer_ref) -> service_inbound st conn peer_ref
-            | None -> ())
-        readable;
-      if Unix.gettimeofday () >= !next_tick then begin
-        tick st ~n:!n ~ops;
-        incr n;
-        next_tick := !next_tick +. tick_s;
-        if finished st then result := Some (P.state st.node)
-        else if !n >= cfg.max_ticks then begin
-          Printf.eprintf "node %d: max_ticks (%d) reached before shutdown\n%!"
-            cfg.id cfg.max_ticks;
-          result := Some (P.state st.node)
-        end
-      end
-    done;
+    let clean, ticks =
+      if cfg.lockstep then serve_lockstep st listener ~digest ~ops
+      else serve_wallclock st listener ~ops
+    in
     Hashtbl.iter (fun _ c -> Conn.close c) st.out;
-    List.iter (fun (c, _) -> Conn.close c) st.inbound;
+    List.iter (fun ib -> Conn.close ib.conn) st.inbound;
     (try Unix.close listener with Unix.Unix_error _ -> ());
     Addr.cleanup cfg.listen;
-    Option.get !result
+    counters.ops_applied <- D.ops_applied drv;
+    counters.memory_weight <- D.memory_weight drv;
+    counters.memory_bytes <- D.memory_bytes drv;
+    counters.metadata_memory_bytes <- D.metadata_memory_bytes drv;
+    {
+      state = D.state drv;
+      ticks;
+      counters;
+      ops_applied = D.ops_applied drv;
+      clean;
+    }
 end

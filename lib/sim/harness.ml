@@ -1,10 +1,16 @@
 (** Uniform experiment driver: runs the same workload under every
     synchronization protocol and returns comparable measurements.
 
+    Protocol dispatch is registry-driven: the harness walks
+    {!Crdt_engine.Registry.protocols} and instantiates each selected
+    constructor against the experiment's CRDT, so a protocol added to the
+    registry shows up here (and in every harness client) without edits.
+
     Used by the benchmark executable (one section per paper figure) and by
     the [crdtsync] CLI. *)
 
 open Crdt_proto
+module Registry = Crdt_engine.Registry
 
 type outcome = {
   protocol : string;
@@ -62,41 +68,36 @@ let delta_only =
     merkle = false;
   }
 
+(* Registry name ↔ selection field.  The registry order is the stable
+   reporting order, so [run] only needs the getters/setters here. *)
+let enabled sel = function
+  | "state-based" -> sel.state_based
+  | "delta-classic" -> sel.delta_classic
+  | "delta-bp" -> sel.delta_bp
+  | "delta-rr" -> sel.delta_rr
+  | "delta-bp+rr" -> sel.delta_bp_rr
+  | "delta-bp+rr-ack" -> sel.delta_ack
+  | "scuttlebutt" -> sel.scuttlebutt
+  | "scuttlebutt-gc" -> sel.scuttlebutt_gc
+  | "op-based" -> sel.op_based
+  | "merkle" -> sel.merkle
+  | name -> invalid_arg ("Harness: protocol not mapped to selection: " ^ name)
+
+let disable sel = function
+  | "state-based" -> { sel with state_based = false }
+  | "delta-classic" -> { sel with delta_classic = false }
+  | "delta-bp" -> { sel with delta_bp = false }
+  | "delta-rr" -> { sel with delta_rr = false }
+  | "delta-bp+rr" -> { sel with delta_bp_rr = false }
+  | "delta-bp+rr-ack" -> { sel with delta_ack = false }
+  | "scuttlebutt" -> { sel with scuttlebutt = false }
+  | "scuttlebutt-gc" -> { sel with scuttlebutt_gc = false }
+  | "op-based" -> { sel with op_based = false }
+  | "merkle" -> { sel with merkle = false }
+  | name -> invalid_arg ("Harness: protocol not mapped to selection: " ^ name)
+
 module Make (C : Protocol_intf.CRDT) = struct
   type ops = round:int -> node:int -> C.t -> C.op list
-
-  module Run (P : Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op) =
-  struct
-    module R = Runner.Make (P)
-
-    let name = P.protocol_name
-    let caps = P.capabilities
-
-    let go ?faults ?quiesce_limit ?(domains = 1) ?bytes ~topology ~rounds
-        ~(ops : ops) () =
-      let res =
-        R.run ?faults ?quiesce_limit ~domains ?bytes ~equal:C.equal ~topology
-          ~rounds ~ops ()
-      in
-      {
-        protocol = P.protocol_name;
-        summary = R.summary res;
-        full = R.full_summary res;
-        work = R.total_work res;
-        converged = res.R.converged;
-      }
-  end
-
-  module State = Run (State_sync.Make (C))
-  module Classic = Run (Delta_sync.Make (C) (Delta_sync.Classic_config))
-  module Bp = Run (Delta_sync.Make (C) (Delta_sync.Bp_config))
-  module Rr = Run (Delta_sync.Make (C) (Delta_sync.Rr_config))
-  module BpRr = Run (Delta_sync.Make (C) (Delta_sync.Bp_rr_config))
-  module Ack = Run (Delta_sync.Make (C) (Delta_sync.Ack_config))
-  module Sb = Run (Scuttlebutt.Make (C) (Scuttlebutt.No_gc_config))
-  module SbGc = Run (Scuttlebutt.Make (C) (Scuttlebutt.Gc_config))
-  module Op = Run (Op_sync.Make (C))
-  module Merkle = Run (Merkle_sync.Make (C) (Merkle_sync.Default_config))
 
   (** Restrict [sel] to the protocols whose declared capabilities cover
       the fault [plan]; also returns the names that were excluded, so
@@ -104,73 +105,64 @@ module Make (C : Protocol_intf.CRDT) = struct
       the comparison.  With [Fault.none] this is the identity. *)
   let mask_unsupported (plan : Fault.plan) (sel : selection) =
     let excluded = ref [] in
-    let keep flag ~name ~caps =
-      if (not flag) || Fault.supported ~caps plan then flag
-      else begin
-        excluded := name :: !excluded;
-        false
-      end
-    in
     let sel =
-      {
-        state_based = keep sel.state_based ~name:State.name ~caps:State.caps;
-        delta_classic =
-          keep sel.delta_classic ~name:Classic.name ~caps:Classic.caps;
-        delta_bp = keep sel.delta_bp ~name:Bp.name ~caps:Bp.caps;
-        delta_rr = keep sel.delta_rr ~name:Rr.name ~caps:Rr.caps;
-        delta_bp_rr = keep sel.delta_bp_rr ~name:BpRr.name ~caps:BpRr.caps;
-        delta_ack = keep sel.delta_ack ~name:Ack.name ~caps:Ack.caps;
-        scuttlebutt = keep sel.scuttlebutt ~name:Sb.name ~caps:Sb.caps;
-        scuttlebutt_gc =
-          keep sel.scuttlebutt_gc ~name:SbGc.name ~caps:SbGc.caps;
-        op_based = keep sel.op_based ~name:Op.name ~caps:Op.caps;
-        merkle = keep sel.merkle ~name:Merkle.name ~caps:Merkle.caps;
-      }
+      List.fold_left
+        (fun sel maker ->
+          let name = Registry.protocol_name maker in
+          if
+            enabled sel name
+            && not (Fault.supported ~caps:(Registry.capabilities maker) plan)
+          then begin
+            excluded := name :: !excluded;
+            disable sel name
+          end
+          else sel)
+        sel Registry.protocols
     in
     (sel, List.rev !excluded)
 
+  let run_one (maker : Registry.proto) ?faults ?quiesce_limit ?(domains = 1)
+      ?bytes ?sink ~topology ~rounds ~(ops : ops) () =
+    let module P =
+      (val Registry.instantiate maker
+             (module C : Protocol_intf.CRDT with type t = C.t and type op = C.op))
+    in
+    let module R = Runner.Make (P) in
+    (match sink with
+    | Some (s : Crdt_engine.Trace.sink) ->
+        s.meta ("protocol=" ^ P.protocol_name)
+    | None -> ());
+    let res =
+      R.run ?faults ?quiesce_limit ~domains ?bytes ?sink ~equal:C.equal
+        ~topology ~rounds ~ops ()
+    in
+    {
+      protocol = P.protocol_name;
+      summary = R.summary res;
+      full = R.full_summary res;
+      work = R.total_work res;
+      converged = res.R.converged;
+    }
+
   (** Run the selected protocols over the same topology and operation
-      stream; results come back in a stable order with BP+RR last
-      runnable as the ratio baseline.  [domains] selects the engine's
-      pool width (results are identical at any setting).  A [faults]
-      plan applies identically to every selected protocol; protocols
-      whose capabilities do not cover it make {!Runner.Make.run} raise —
-      use {!mask_unsupported} first to drop them instead. *)
+      stream; results come back in the registry's stable order.
+      [domains] selects the engine's pool width (results are identical
+      at any setting).  A [faults] plan applies identically to every
+      selected protocol; protocols whose capabilities do not cover it
+      make {!Runner.Make.run} raise — use {!mask_unsupported} first to
+      drop them instead.  [sink] attaches a trace sink to every run
+      (each prefixed with a [protocol=<name>] meta event); it requires
+      [domains = 1]. *)
   let run ?(selection = all_protocols) ?faults ?quiesce_limit ?(domains = 1)
-      ?bytes ~topology ~rounds ~(ops : ops) () =
-    let maybe flag f acc = if flag then f () :: acc else acc in
-    List.rev
-      ([]
-      |> maybe selection.state_based (fun () ->
-             State.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.delta_classic (fun () ->
-             Classic.go ?faults ?quiesce_limit ~domains ?bytes ~topology
-               ~rounds ~ops ())
-      |> maybe selection.delta_bp (fun () ->
-             Bp.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.delta_rr (fun () ->
-             Rr.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.delta_bp_rr (fun () ->
-             BpRr.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.delta_ack (fun () ->
-             Ack.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.scuttlebutt (fun () ->
-             Sb.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.scuttlebutt_gc (fun () ->
-             SbGc.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.op_based (fun () ->
-             Op.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ())
-      |> maybe selection.merkle (fun () ->
-             Merkle.go ?faults ?quiesce_limit ~domains ?bytes ~topology ~rounds
-               ~ops ()))
+      ?bytes ?sink ~topology ~rounds ~(ops : ops) () =
+    List.filter_map
+      (fun maker ->
+        if enabled selection (Registry.protocol_name maker) then
+          Some
+            (run_one maker ?faults ?quiesce_limit ~domains ?bytes ?sink
+               ~topology ~rounds ~ops ())
+        else None)
+      Registry.protocols
 
   (** Find the ratio baseline in a result list: BP+RR when present,
       otherwise its ack-mode variant (fault runs may mask plain BP+RR),

@@ -7,6 +7,14 @@
     and any protocol-level replies (e.g. Scuttlebutt's digest → pairs
     exchange) are processed in waves until the network drains.
 
+    The per-replica state machine (apply → tick → ship → handle →
+    crash/recover) lives in {!Crdt_engine.Driver}; this module is the
+    {e transport}: wave scheduling, topology routing, fault injection and
+    the domain pool.  All accounting flows through the drivers'
+    {!Crdt_engine.Trace} sinks — one counting sink per shard becomes the
+    {!Metrics.round} records, and [run ?sink] can attach a user sink
+    (e.g. the JSONL trace writer) on top.
+
     {2 Fault injection}
 
     A {!Fault.plan} describes the adversity of a run: per-message
@@ -33,26 +41,31 @@
 
     Delivery is organized as {e waves} of per-destination inboxes: a
     wave handles every pending message, grouped by destination, and the
-    replies form the next wave.  Since [P.handle] only ever touches
-    [nodes.(dst)], the destinations of one wave are mutually
-    independent, which gives both the allocation-light sequential path
-    (growable array buffers instead of list appends, mutable counters
-    folded into a {!Metrics.round} once per round) and a race-free
-    parallel mode: a fixed {!Pool} of domains shards the node range, and
-    shard [s] owns nodes [s·n/W .. (s+1)·n/W) for ticking, delivery and
-    memory snapshots alike.  Fault randomness is drawn from
-    per-destination PRNG streams (seeded from [fault_plan.seed] and the
-    destination id), partition/delay/crash decisions are deterministic
-    in [(round, src, dst)], and per-shard counters are merged in shard
-    order, so for a fixed seed the parallel engine is bit-identical to
-    the sequential one at every [domains] setting.
+    replies form the next wave.  Since message handling only ever
+    touches the destination's driver, the destinations of one wave are
+    mutually independent, which gives both the allocation-light
+    sequential path (growable array buffers instead of list appends,
+    mutable per-shard counters folded into a {!Metrics.round} once per
+    round) and a race-free parallel mode: a fixed {!Pool} of domains
+    shards the node range, and shard [s] owns nodes [s·n/W .. (s+1)·n/W)
+    for ticking, delivery and memory snapshots alike.  Fault randomness
+    is drawn from per-destination PRNG streams (seeded from
+    [fault_plan.seed] and the destination id), partition/delay/crash
+    decisions are deterministic in [(round, src, dst)], and per-shard
+    counters are merged in shard order, so for a fixed seed the parallel
+    engine is bit-identical to the sequential one at every [domains]
+    setting.
 
     After the measured rounds, the runner performs quiescent
     synchronization rounds (no further operations) until all replicas
     converge, and reports whether convergence was reached — every
     experiment doubles as a correctness check. *)
 
+module Trace = Crdt_engine.Trace
+
 module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
+  module D = Crdt_engine.Driver.Make (P)
+
   type result = {
     rounds : Metrics.round array;  (** one record per measured round. *)
     quiesce_rounds : Metrics.round array;
@@ -80,65 +93,13 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
 
   let no_faults = Fault.none
 
-  (* Per-shard accumulator: mutable counters bumped per message/node and
-     folded into an immutable Metrics.round once per round.  All fields
-     are additive ints, so merging in shard order yields the same sums
-     at every domain count. *)
-  type acc = {
-    mutable messages : int;
-    mutable payload : int;
-    mutable metadata : int;
-    mutable payload_bytes : int;
-    mutable metadata_bytes : int;
-    mutable wire_bytes : int;
-    mutable memory_weight : int;
-    mutable memory_bytes : int;
-    mutable metadata_memory_bytes : int;
-    mutable dropped : int;
-    mutable held : int;
-    mutable partitioned : int;
-  }
-
-  let make_acc () =
-    {
-      messages = 0;
-      payload = 0;
-      metadata = 0;
-      payload_bytes = 0;
-      metadata_bytes = 0;
-      wire_bytes = 0;
-      memory_weight = 0;
-      memory_bytes = 0;
-      metadata_memory_bytes = 0;
-      dropped = 0;
-      held = 0;
-      partitioned = 0;
-    }
-
-  let reset_acc a =
-    a.messages <- 0;
-    a.payload <- 0;
-    a.metadata <- 0;
-    a.payload_bytes <- 0;
-    a.metadata_bytes <- 0;
-    a.wire_bytes <- 0;
-    a.memory_weight <- 0;
-    a.memory_bytes <- 0;
-    a.metadata_memory_bytes <- 0;
-    a.dropped <- 0;
-    a.held <- 0;
-    a.partitioned <- 0
-
   type engine = {
     n : int;
     shards : int;
     total_rounds : int;  (** measured rounds; the fault schedule ends here. *)
-    nodes : P.node array;
+    drivers : D.t array;
     pool : Pool.t;
     faults : fault_plan;
-    exact_bytes : bool;
-        (** whether delivered messages are additionally sized exactly
-            ([P.message_wire_bytes]) into the [wire_bytes] counters. *)
     rng_faults : bool;
         (** whether duplicate/drop/shuffle consult the PRNG streams. *)
     adversity : bool;  (** whether partitions/delays/crashes are scheduled. *)
@@ -151,7 +112,6 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     events : (int * [ `Crash | `Recover ]) list array;
         (** crash/recover events per round boundary, recoveries first;
             length [total_rounds + 1]. *)
-    down : bool array;  (** currently crashed nodes. *)
     held : (int * int * P.message) Dynbuf.t array;
         (** per-destination [(release_round, src, msg)] captured by a
             delay rule. *)
@@ -163,7 +123,10 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     out : (int * (int * P.message)) Dynbuf.t array;
         (** per-shard [(dst, (src, msg))] produced this wave, in
             production order. *)
-    accs : acc array;  (** per-shard counters. *)
+    counters : Trace.counters array;  (** per-shard tallies. *)
+    sinks : Trace.sink array;
+        (** per-shard sink: the shard's counting sink, teed with the
+            user sink when one was supplied. *)
     mutable now : int;  (** current round (measured and quiescent). *)
   }
 
@@ -176,15 +139,13 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
   let hi eng s = (s + 1) * eng.n / eng.shards
 
   (* Tick phase: shard-local; messages go to the shard's outbox.
-     Crashed nodes are dark — they do not tick. *)
+     Crashed nodes are dark — the driver does not tick them. *)
   let tick_shard eng s =
     let out = eng.out.(s) in
+    let round = eng.now in
     for i = lo eng s to hi eng s - 1 do
-      if not eng.down.(i) then begin
-        let node, msgs = P.tick eng.nodes.(i) in
-        eng.nodes.(i) <- node;
-        List.iter (fun (j, m) -> Dynbuf.push out (j, (i, m))) msgs
-      end
+      D.tick eng.drivers.(i) ~round ~emit:(fun ~dest msg ->
+          Dynbuf.push out (dest, (i, msg)))
     done
 
   (* Route every outbox entry to its destination inbox.  Sequential, in
@@ -221,33 +182,31 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     else Hashtbl.find_opt eng.delay ((src * eng.n) + dst)
 
   (* Handle one wave of destination [d]'s inbox plus any delay releases
-     due this round (shard-local: only [nodes.(d)] and shard-owned
-     buffers are touched). *)
+     due this round (shard-local: only [drivers.(d)] and shard-owned
+     buffers are touched).  Fault decisions (drop/hold/cut) are the
+     transport's to make, so they are reported here; accepted messages
+     go through the driver, which does the delivery accounting. *)
   let deliver_dst eng s d =
     let inb = eng.inbox.(d) in
     let rel = eng.released.(d) in
     let len = Dynbuf.length inb in
     let rlen = Dynbuf.length rel in
     if len > 0 || rlen > 0 then begin
-      let acc = eng.accs.(s) in
+      let snk = eng.sinks.(s) in
       let out = eng.out.(s) in
-      let count msg =
-        acc.messages <- acc.messages + 1;
-        acc.payload <- acc.payload + P.payload_weight msg;
-        acc.metadata <- acc.metadata + P.metadata_weight msg;
-        acc.payload_bytes <- acc.payload_bytes + P.payload_bytes msg;
-        acc.metadata_bytes <- acc.metadata_bytes + P.metadata_bytes msg;
-        if eng.exact_bytes then
-          acc.wire_bytes <- acc.wire_bytes + P.message_wire_bytes msg
-      in
-      let handle ~src msg =
-        let node, replies = P.handle eng.nodes.(d) ~src msg in
-        eng.nodes.(d) <- node;
-        List.iter (fun (j, m) -> Dynbuf.push out (j, (d, m))) replies
-      in
-      if eng.down.(d) then begin
+      let drv = eng.drivers.(d) in
+      let round = eng.now in
+      let emit ~dest msg = Dynbuf.push out (dest, (d, msg)) in
+      if D.down drv then begin
         (* Everything addressed to a crashed node is lost. *)
-        acc.dropped <- acc.dropped + len + rlen;
+        for k = 0 to len - 1 do
+          let src, _ = Dynbuf.get inb k in
+          snk.drop ~node:d ~src ~round
+        done;
+        for k = 0 to rlen - 1 do
+          let src, _ = Dynbuf.get rel k in
+          snk.drop ~node:d ~src ~round
+        done;
         Dynbuf.clear inb;
         Dynbuf.clear rel
       end
@@ -257,8 +216,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         if rlen > 0 then begin
           for k = 0 to rlen - 1 do
             let src, msg = Dynbuf.get rel k in
-            count msg;
-            handle ~src msg
+            D.deliver drv ~round ~src ~emit msg
           done;
           Dynbuf.clear rel
         end;
@@ -272,40 +230,34 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
               (* Deterministic checks (partition, delay) come first so
                  the per-destination PRNG draw sequence is a function of
                  the surviving message sequence only. *)
-              if cut eng ~src ~dst:d then
-                acc.partitioned <- acc.partitioned + 1
+              if cut eng ~src ~dst:d then snk.cut ~node:d ~src ~round
               else
                 match delay_of eng ~src ~dst:d with
                 | Some hold ->
-                    acc.held <- acc.held + 1;
-                    Dynbuf.push eng.held.(d) (eng.now + hold, src, msg)
+                    snk.hold ~node:d ~src ~round;
+                    Dynbuf.push eng.held.(d) (round + hold, src, msg)
                 | None ->
                     let dropped =
                       eng.rng_faults && f.drop > 0.
                       && Random.State.float eng.rngs.(d) 1. < f.drop
                     in
-                    if dropped then acc.dropped <- acc.dropped + 1
-                    else begin
-                      count msg;
-                      let deliveries =
+                    if dropped then snk.drop ~node:d ~src ~round
+                    else
+                      let copies =
                         if
                           eng.rng_faults && f.duplicate > 0.
                           && Random.State.float eng.rngs.(d) 1. < f.duplicate
                         then 2
                         else 1
                       in
-                      for _ = 1 to deliveries do
-                        handle ~src msg
-                      done
-                    end
+                      D.deliver drv ~round ~src ~copies ~emit msg
             done
           end
           else
             (* Fault-free fast path: no PRNG, one delivery per message. *)
             for k = 0 to len - 1 do
               let src, msg = Dynbuf.get inb k in
-              count msg;
-              handle ~src msg
+              D.deliver drv ~round ~src ~emit msg
             done;
           Dynbuf.clear inb
         end
@@ -327,12 +279,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       List.iter
         (fun (i, ev) ->
           match ev with
-          | `Recover ->
-              eng.down.(i) <- false;
-              eng.nodes.(i) <- P.recover eng.nodes.(i)
-          | `Crash ->
-              eng.down.(i) <- true;
-              eng.nodes.(i) <- P.crash eng.nodes.(i))
+          | `Recover -> D.recover eng.drivers.(i) ~round
+          | `Crash -> D.crash eng.drivers.(i) ~round)
         eng.events.(round);
     Array.iteri
       (fun d buf ->
@@ -366,45 +314,45 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
      of all shard counters into the round record. *)
   let finish_round eng ~ops_applied : Metrics.round =
     Pool.run eng.pool (fun s ->
-        let acc = eng.accs.(s) in
+        let c = eng.counters.(s) in
         let w = ref 0 and b = ref 0 and mb = ref 0 in
         for i = lo eng s to hi eng s - 1 do
-          let n = eng.nodes.(i) in
-          w := !w + P.memory_weight n;
-          b := !b + P.memory_bytes n;
-          mb := !mb + P.metadata_memory_bytes n
+          let drv = eng.drivers.(i) in
+          w := !w + D.memory_weight drv;
+          b := !b + D.memory_bytes drv;
+          mb := !mb + D.metadata_memory_bytes drv
         done;
-        acc.memory_weight <- !w;
-        acc.memory_bytes <- !b;
-        acc.metadata_memory_bytes <- !mb);
+        c.memory_weight <- !w;
+        c.memory_bytes <- !b;
+        c.metadata_memory_bytes <- !mb);
     let r =
       Array.fold_left
-        (fun (r : Metrics.round) a ->
+        (fun (r : Metrics.round) (c : Trace.counters) ->
           {
             r with
-            messages = r.messages + a.messages;
-            payload = r.payload + a.payload;
-            metadata = r.metadata + a.metadata;
-            payload_bytes = r.payload_bytes + a.payload_bytes;
-            metadata_bytes = r.metadata_bytes + a.metadata_bytes;
-            wire_bytes = r.wire_bytes + a.wire_bytes;
-            memory_weight = r.memory_weight + a.memory_weight;
-            memory_bytes = r.memory_bytes + a.memory_bytes;
+            messages = r.messages + c.messages;
+            payload = r.payload + c.payload;
+            metadata = r.metadata + c.metadata;
+            payload_bytes = r.payload_bytes + c.payload_bytes;
+            metadata_bytes = r.metadata_bytes + c.metadata_bytes;
+            wire_bytes = r.wire_bytes + c.wire_bytes;
+            memory_weight = r.memory_weight + c.memory_weight;
+            memory_bytes = r.memory_bytes + c.memory_bytes;
             metadata_memory_bytes =
-              r.metadata_memory_bytes + a.metadata_memory_bytes;
-            dropped = r.dropped + a.dropped;
-            held = r.held + a.held;
-            partitioned = r.partitioned + a.partitioned;
+              r.metadata_memory_bytes + c.metadata_memory_bytes;
+            dropped = r.dropped + c.dropped;
+            held = r.held + c.held;
+            partitioned = r.partitioned + c.partitioned;
           })
         { Metrics.empty_round with ops_applied }
-        eng.accs
+        eng.counters
     in
-    Array.iter reset_acc eng.accs;
+    Array.iter Trace.reset_counters eng.counters;
     r
 
-  let all_equal ~equal nodes =
-    let first = P.state nodes.(0) in
-    Array.for_all (fun n -> equal (P.state n) first) nodes
+  let all_equal ~equal drivers =
+    let first = D.state drivers.(0) in
+    Array.for_all (fun drv -> equal (D.state drv) first) drivers
 
   (** Run a simulation.
 
@@ -419,20 +367,23 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       accounting: under {!Metrics.Exact} every delivered message is
       additionally sized exactly via [P.message_wire_bytes] into the
       [wire_bytes] counters (the estimate counters are always kept).
+      [sink] attaches a {!Crdt_engine.Trace} sink to every replica (all
+      events, including per-message [Send]/[Recv]); it requires
+      [domains = 1], since a shared sink would otherwise race.
 
       @raise Invalid_argument when the fault plan is structurally
       invalid ({!Fault.validate}) or demands a fault class the protocol
-      does not declare in its capabilities ({!Fault.require}). *)
+      does not declare in its capabilities ({!Fault.require}), or when a
+      [sink] is combined with [domains > 1]. *)
   let run ?(faults = no_faults) ?(quiesce_limit = 64) ?(domains = 1)
-      ?(bytes = Metrics.Estimate) ~equal ~topology ~rounds ~ops () =
+      ?(bytes = Metrics.Estimate) ?sink ~equal ~topology ~rounds ~ops () =
     if domains < 1 then invalid_arg "Runner.run: domains must be >= 1";
+    if Option.is_some sink && domains > 1 then
+      invalid_arg "Runner.run: a trace sink requires domains = 1";
     let n = Topology.size topology in
     Fault.validate ~nodes:n ~rounds faults;
     Fault.require ~protocol:P.protocol_name ~caps:P.capabilities faults;
-    let nodes =
-      Array.init n (fun i ->
-          P.init ~id:i ~neighbors:(Topology.neighbors topology i) ~total:n)
-    in
+    let exact_bytes = bytes = Metrics.Exact in
     Pool.with_pool domains (fun pool ->
         let rng_faults = Fault.rng_active faults in
         let adversity = Fault.structural faults in
@@ -450,15 +401,37 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             events.(c.recover_round) <-
               (c.victim, `Recover) :: events.(c.recover_round))
           faults.crashes;
+        let counters = Array.init shards (fun _ -> Trace.make_counters ()) in
+        let sinks =
+          Array.init shards (fun s ->
+              let counting = Trace.counting counters.(s) in
+              match sink with
+              | None -> counting
+              | Some user -> Trace.tee counting user)
+        in
+        (* Node → owning shard, to hand each driver its shard's sink. *)
+        let shard_of =
+          let a = Array.make n 0 in
+          for s = 0 to shards - 1 do
+            for i = s * n / shards to ((s + 1) * n / shards) - 1 do
+              a.(i) <- s
+            done
+          done;
+          a
+        in
+        let drivers =
+          Array.init n (fun i ->
+              D.create ~sink:sinks.(shard_of.(i)) ~exact_bytes ~id:i
+                ~neighbors:(Topology.neighbors topology i) ~total:n ())
+        in
         let eng =
           {
             n;
             shards;
             total_rounds = rounds;
-            nodes;
+            drivers;
             pool;
             faults;
-            exact_bytes = (bytes = Metrics.Exact);
             rng_faults;
             adversity;
             rngs =
@@ -472,12 +445,12 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
                    faults.partitions);
             delay;
             events;
-            down = Array.make n false;
             held = Array.init n (fun _ -> Dynbuf.create ());
             released = Array.init n (fun _ -> Dynbuf.create ());
             inbox = Array.init n (fun _ -> Dynbuf.create ());
             out = Array.init shards (fun _ -> Dynbuf.create ());
-            accs = Array.init shards (fun _ -> make_acc ());
+            counters;
+            sinks;
             now = 0;
           }
         in
@@ -486,14 +459,12 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
               begin_round eng ~round;
               let applied = ref 0 in
               Array.iteri
-                (fun i _ ->
-                  if not eng.down.(i) then
-                    List.iter
-                      (fun op ->
-                        nodes.(i) <- P.local_update nodes.(i) op;
-                        incr applied)
-                      (ops ~round ~node:i (P.state nodes.(i))))
-                nodes;
+                (fun i drv ->
+                  if not (D.down drv) then
+                    applied :=
+                      !applied
+                      + D.apply drv (ops ~round ~node:i (D.state drv)))
+                drivers;
               sync_round eng;
               finish_round eng ~ops_applied:!applied)
         in
@@ -507,19 +478,22 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         let steps = ref 0 in
         while
           !steps < quiesce_limit
-          && ((!steps = 0 && late_events) || not (all_equal ~equal nodes))
+          && ((!steps = 0 && late_events) || not (all_equal ~equal drivers))
         do
           begin_round eng ~round:(rounds + !steps);
           incr steps;
           sync_round eng;
           quiesce := finish_round eng ~ops_applied:0 :: !quiesce
         done;
+        let converged = all_equal ~equal drivers in
+        if converged then
+          Array.iter (fun drv -> D.finish drv ~round:(rounds + !steps)) drivers;
         {
           rounds = measured;
           quiesce_rounds = Array.of_list (List.rev !quiesce);
-          finals = Array.map P.state nodes;
-          work = Array.map P.work nodes;
-          converged = all_equal ~equal nodes;
+          finals = Array.map D.state drivers;
+          work = Array.map D.work drivers;
+          converged;
         })
 
   (** Summary over the measured rounds only. *)

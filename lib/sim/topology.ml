@@ -131,3 +131,20 @@ let is_acyclic t = List.length (edges t) = t.n - 1
 
 let pp ppf t =
   Format.fprintf ppf "%s(n=%d, edges=%d)" t.name t.n (List.length (edges t))
+
+(** Name → builder dispatch shared by the CLI and the benches.  Accepts
+    the canonical names plus the aliases the constructors print
+    ("full-mesh", "partial-mesh"). *)
+let of_name name n =
+  match name with
+  | "tree" -> tree n
+  | "mesh" | "partial-mesh" -> partial_mesh n
+  | "ring" -> ring n
+  | "line" -> line n
+  | "star" -> star n
+  | "full" | "full-mesh" -> full_mesh n
+  | other ->
+      invalid_arg
+        (Printf.sprintf
+           "unknown topology %S (known: tree, mesh, ring, line, star, full)"
+           other)

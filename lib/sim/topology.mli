@@ -46,3 +46,8 @@ val is_acyclic : t -> bool
     paths). *)
 
 val pp : Format.formatter -> t -> unit
+
+val of_name : string -> int -> t
+(** Name → builder dispatch: ["tree"], ["mesh"]/["partial-mesh"],
+    ["ring"], ["line"], ["star"], ["full"]/["full-mesh"].
+    @raise Invalid_argument on an unknown name, listing the known ones. *)

@@ -11,10 +11,19 @@
 
    This is the wire stack exercised for real: codecs framing actual
    socket traffic, partial reads reassembled by the frame feed, and the
-   Done handshake terminating the processes. *)
+   Done handshake terminating the processes.
+
+   On top of plain convergence, two engine-level properties are pinned
+   here: Scuttlebutt — a protocol that never goes silent on its own —
+   terminates over sockets via the dirty-based quiescence handshake,
+   and a `--lockstep` cluster reports exactly the wire bytes the
+   in-process simulator predicts for the same seeded workload (the
+   sim-vs-socket cross-check: both drivers run the identical registry
+   workload, so their byte accounting must agree to the byte). *)
 
 open Crdt_core
 module Codec = Crdt_wire.Codec
+module Registry = Crdt_engine.Registry
 
 let crdtsync () =
   let candidates =
@@ -92,14 +101,38 @@ let wait_all ~timeout_s pids =
   | [] -> ()
   | fs -> Alcotest.failf "replica failure: %s" (String.concat ", " fs)
 
+(* Scrape an integer field out of a one-line JSON object without a JSON
+   dependency; the metrics schema is flat enough for a substring scan. *)
+let scrape_int ~key json =
+  let pat = Printf.sprintf "%S:" key in
+  let lp = String.length pat and lj = String.length json in
+  let rec find i =
+    if i + lp > lj then Alcotest.failf "no %s field in %s" key json
+    else if String.sub json i lp = pat then i + lp
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let stop = ref start in
+  while
+    !stop < lj && match json.[!stop] with '0' .. '9' -> true | _ -> false
+  do
+    incr stop
+  done;
+  if !stop = start then Alcotest.failf "non-numeric %s in %s" key json;
+  int_of_string (String.sub json start (!stop - start))
+
 (* Run an [n]-replica full mesh of `crdtsync serve` processes on [crdt]
-   under delta BP+RR and return each replica's raw encoded final state. *)
-let run_cluster ~crdt ~n ~ops =
+   under [protocol]; returns each replica's raw encoded final state and,
+   when [metrics] is set, the cluster's total wire bytes as reported by
+   `--metrics-out`. *)
+let run_cluster ?(protocol = "delta-bp+rr") ?(lockstep = false)
+    ?(metrics = false) ~crdt ~n ~ops () =
   let exe = crdtsync () in
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
   let sock i = Filename.concat dir (Printf.sprintf "n%d.sock" i) in
   let state i = Filename.concat dir (Printf.sprintf "state%d.hex" i) in
+  let metrics_file i = Filename.concat dir (Printf.sprintf "m%d.json" i) in
   let ids = List.init n Fun.id in
   let pids =
     List.map
@@ -117,12 +150,14 @@ let run_cluster ~crdt ~n ~ops =
             "--id"; string_of_int i;
             "--listen"; "unix:" ^ sock i;
             "--crdt"; crdt;
-            "--protocol"; "delta-bp+rr";
+            "--protocol"; protocol;
             "--ops"; string_of_int ops;
             "--tick-ms"; "10";
             "--max-ticks"; "3000";
             "--state-out"; state i;
           ]
+          @ (if lockstep then [ "--lockstep" ] else [])
+          @ (if metrics then [ "--metrics-out"; metrics_file i ] else [])
           @ peers
         in
         let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
@@ -135,15 +170,26 @@ let run_cluster ~crdt ~n ~ops =
       ids
   in
   wait_all ~timeout_s:60. pids;
-  List.map
-    (fun i ->
-      let hex = read_hex_line (state i) in
-      Alcotest.(check bool)
-        (Printf.sprintf "replica %d wrote a state" i)
-        true
-        (String.length hex > 0);
-      of_hex hex)
-    ids
+  let encodings =
+    List.map
+      (fun i ->
+        let hex = read_hex_line (state i) in
+        Alcotest.(check bool)
+          (Printf.sprintf "replica %d wrote a state" i)
+          true
+          (String.length hex > 0);
+        of_hex hex)
+      ids
+  in
+  let wire_bytes =
+    if not metrics then 0
+    else
+      List.fold_left
+        (fun acc i ->
+          acc + scrape_int ~key:"wire_bytes" (read_hex_line (metrics_file i)))
+        0 ids
+  in
+  (encodings, wire_bytes)
 
 let all_identical = function
   | [] | [ _ ] -> true
@@ -151,7 +197,7 @@ let all_identical = function
 
 let gset_test () =
   let n = 4 and ops = 10 in
-  let encodings = run_cluster ~crdt:"gset" ~n ~ops in
+  let encodings, _ = run_cluster ~crdt:"gset" ~n ~ops () in
   Alcotest.(check bool)
     "all replicas encode byte-identically" true (all_identical encodings);
   match Codec.decode_string Gset.Of_int.codec (List.hd encodings) with
@@ -164,7 +210,7 @@ let gset_test () =
 
 let gmap_test () =
   let n = 3 and ops = 10 in
-  let encodings = run_cluster ~crdt:"gmap" ~n ~ops in
+  let encodings, _ = run_cluster ~crdt:"gmap" ~n ~ops () in
   Alcotest.(check bool)
     "all replicas encode byte-identically" true (all_identical encodings);
   match Codec.decode_string Gmap.Versioned.codec (List.hd encodings) with
@@ -175,6 +221,60 @@ let gmap_test () =
       Alcotest.(check int) "one live key per op tick" ops
         (Gmap.Versioned.weight m)
 
+(* Scuttlebutt gossips digests forever when left alone — before the
+   dirty-based quiescence handshake, a serve cluster running it would
+   spin until --max-ticks.  Its convergence over real sockets is the
+   evidence that serve now accepts every registered protocol. *)
+let scuttlebutt_test () =
+  let n = 3 and ops = 8 in
+  let encodings, _ =
+    run_cluster ~protocol:"scuttlebutt" ~crdt:"gset" ~n ~ops ()
+  in
+  Alcotest.(check bool)
+    "all replicas encode byte-identically" true (all_identical encodings);
+  match Codec.decode_string Gset.Of_int.codec (List.hd encodings) with
+  | Error e -> Alcotest.failf "state decode: %s" (Codec.error_to_string e)
+  | Ok s ->
+      Alcotest.(check int) "cardinal = replicas * ops" (n * ops)
+        (Gset.Of_int.weight s)
+
+(* The simulator's prediction for the serve workload: same registry
+   workload, same protocol, full mesh, exact byte accounting. *)
+let sim_wire_bytes ~crdt ~protocol ~n ~ops =
+  let module S = (val Registry.find_crdt crdt) in
+  let module P =
+    (val Registry.instantiate
+           (Registry.find_protocol protocol)
+           (module S.C : Crdt_proto.Protocol_intf.CRDT
+             with type t = S.C.t
+              and type op = S.C.op))
+  in
+  let module R = Crdt_sim.Runner.Make (P) in
+  let res =
+    R.run ~bytes:Crdt_sim.Metrics.Exact ~equal:S.C.equal
+      ~topology:(Crdt_sim.Topology.full_mesh n)
+      ~rounds:ops
+      ~ops:(fun ~round ~node state -> S.serve_ops ~id:node ~tick:round state)
+      ()
+  in
+  Alcotest.(check bool) "simulator converged" true res.R.converged;
+  (R.full_summary res).Crdt_sim.Metrics.total_wire_bytes
+
+(* The headline engine claim: a --lockstep socket cluster and the
+   in-process simulator running the same seeded workload account the
+   same wire traffic, to the byte.  Any divergence in what the shared
+   driver ships or how the trace layer counts it fails this test. *)
+let cross_check ~crdt ~n ~ops () =
+  let encodings, socket_bytes =
+    run_cluster ~lockstep:true ~metrics:true ~crdt ~n ~ops ()
+  in
+  Alcotest.(check bool)
+    "all replicas encode byte-identically" true (all_identical encodings);
+  Alcotest.(check bool) "sockets moved bytes" true (socket_bytes > 0);
+  let sim_bytes = sim_wire_bytes ~crdt ~protocol:"delta-bp+rr" ~n ~ops in
+  Alcotest.(check int) "simulator and sockets agree on total wire bytes"
+    sim_bytes socket_bytes
+
 let () =
   Alcotest.run "net_convergence"
     [
@@ -184,5 +284,16 @@ let () =
             gset_test;
           Alcotest.test_case "3 GMap replicas converge over sockets" `Quick
             gmap_test;
+          Alcotest.test_case "3 Scuttlebutt replicas converge over sockets"
+            `Quick scuttlebutt_test;
+        ] );
+      ( "sim-vs-socket wire bytes",
+        [
+          Alcotest.test_case "GSet lockstep cluster matches the simulator"
+            `Quick
+            (cross_check ~crdt:"gset" ~n:3 ~ops:8);
+          Alcotest.test_case "GMap lockstep cluster matches the simulator"
+            `Quick
+            (cross_check ~crdt:"gmap" ~n:3 ~ops:8);
         ] );
     ]

@@ -96,10 +96,57 @@ let validation =
            with Invalid_argument _ -> true));
   ]
 
+(* Topology.of_name is the single CLI/registry entry point: every alias
+   must resolve, and the shape must match the direct constructor. *)
+let of_name =
+  let same_shape a b =
+    Topology.size a = Topology.size b
+    && List.for_all
+         (fun i -> Topology.neighbors a i = Topology.neighbors b i)
+         (List.init (Topology.size a) Fun.id)
+  in
+  [
+    Alcotest.test_case "every alias resolves to its constructor" `Quick
+      (fun () ->
+        List.iter
+          (fun (alias, expect) ->
+            let t = Topology.of_name alias 8 in
+            check
+              (Printf.sprintf "%s matches %s" alias (Topology.name expect))
+              true (same_shape t expect))
+          [
+            ("tree", Topology.tree 8);
+            ("mesh", Topology.partial_mesh 8);
+            ("partial-mesh", Topology.partial_mesh 8);
+            ("ring", Topology.ring 8);
+            ("line", Topology.line 8);
+            ("star", Topology.star 8);
+            ("full", Topology.full_mesh 8);
+            ("full-mesh", Topology.full_mesh 8);
+          ]);
+    Alcotest.test_case "unknown name raises with the known list" `Quick
+      (fun () ->
+        check "raises" true
+          (try
+             ignore (Topology.of_name "torus" 8);
+             false
+           with Invalid_argument msg ->
+             (* The error must name the offender and the alternatives. *)
+             let mem s =
+               let ls = String.length s and lm = String.length msg in
+               let rec go i =
+                 i + ls <= lm && (String.sub msg i ls = s || go (i + 1))
+               in
+               go 0
+             in
+             mem "torus" && mem "tree" && mem "mesh"));
+  ]
+
 let () =
   Alcotest.run "topology"
     [
       ("paper topologies (Fig. 6)", paper_topologies);
       ("constructors", constructors);
       ("validation", validation);
+      ("of_name", of_name);
     ]
