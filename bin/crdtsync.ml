@@ -477,7 +477,7 @@ let parse_peer s =
   | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s)
 
 let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
-    max_ticks lockstep state_out metrics_out trace_out verbose =
+    max_ticks lockstep no_batch state_out metrics_out trace_out verbose =
   try
     let module S = (val Registry.find_crdt crdt) in
     (match S.excluded protocol with
@@ -505,6 +505,7 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
         quiet_ticks;
         max_ticks;
         lockstep;
+        batch = not no_batch;
         verbose;
       }
     in
@@ -535,8 +536,9 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
     | Some path ->
         write_file path
           (Printf.sprintf
-             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"totals\":%s}\n"
-             crdt protocol id res.R.ticks res.R.clean
+             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"writes\":%d,\"wall_s\":%.6f,\"tick_p99_us\":%.1f,\"totals\":%s}\n"
+             crdt protocol id res.R.ticks res.R.clean res.R.writes
+             res.R.wall_s res.R.tick_p99_us
              (counters_totals_json res.R.counters)));
     if res.R.clean then 0 else 1
   with
@@ -616,6 +618,15 @@ let serve_cmd =
              state-digest unanimity, and the round structure matches the \
              simulator's exactly.")
   in
+  let no_batch =
+    Arg.(
+      value & flag
+      & info [ "no-batch" ]
+          ~doc:
+            "Disable per-peer write coalescing: one write(2) per message \
+             (the pre-batching data path), for throughput comparison. \
+             Wire bytes are identical either way.")
+  in
   let state_out =
     Arg.(
       value & opt (some string) None
@@ -630,8 +641,8 @@ let serve_cmd =
        ~doc:"Run one live replica over real sockets (lib/net runtime)")
     Term.(
       const run_serve $ id $ listen $ peers $ crdt $ protocol $ ops $ tick_ms
-      $ quiet_ticks $ max_ticks $ lockstep $ state_out $ metrics_out_arg
-      $ trace_out_arg $ verbose)
+      $ quiet_ticks $ max_ticks $ lockstep $ no_batch $ state_out
+      $ metrics_out_arg $ trace_out_arg $ verbose)
 
 (* -- partition ---------------------------------------------------------- *)
 

@@ -153,6 +153,7 @@ type counters = {
   mutable memory_weight : int;
   mutable memory_bytes : int;
   mutable metadata_memory_bytes : int;
+  mutable writes : int;
 }
 
 let make_counters () =
@@ -172,6 +173,7 @@ let make_counters () =
     memory_weight = 0;
     memory_bytes = 0;
     metadata_memory_bytes = 0;
+    writes = 0;
   }
 
 let reset_counters c =
@@ -189,7 +191,8 @@ let reset_counters c =
   c.partitioned <- 0;
   c.memory_weight <- 0;
   c.memory_bytes <- 0;
-  c.metadata_memory_bytes <- 0
+  c.metadata_memory_bytes <- 0;
+  c.writes <- 0
 
 let counting c =
   {

@@ -107,8 +107,9 @@ val null : sink
     transmission costs bump at {e delivery} ([recv]), never at send, so a
     dropped message costs nothing; [sent] counts send attempts and
     [delivered] counts handle applications (duplicates included).  The
-    three [memory_*] fields are snapshots drivers set directly — the
-    counting sink never touches them. *)
+    three [memory_*] fields and [writes] (the socket runtime's
+    [write(2)]-syscall count; 0 under the simulator) are snapshots
+    drivers set directly — the counting sink never touches them. *)
 type counters = {
   mutable sent : int;
   mutable delivered : int;
@@ -125,6 +126,7 @@ type counters = {
   mutable memory_weight : int;
   mutable memory_bytes : int;
   mutable metadata_memory_bytes : int;
+  mutable writes : int;
 }
 
 val make_counters : unit -> counters

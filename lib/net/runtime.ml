@@ -17,14 +17,33 @@
     free — so a cluster's summed [wire_bytes] is directly comparable to
     a {!Crdt_sim.Runner} total for the same workload.
 
+    {2 Batched data path}
+
+    Outbound traffic is coalesced per peer: the ship phase {e stages}
+    every frame bound for a peer into that connection's reusable
+    outbound buffer ({!Conn.stage_value} — the message payload is
+    encoded straight into it, no intermediate strings) and the staged
+    bytes leave in one [write(2)] per peer per loop iteration, so a
+    tick's messages, any replies raised while pumping, and a trailing
+    control frame (Done, or the lockstep Mark) all travel in the same
+    syscall.  Short writes and [EAGAIN] queue the remainder on the
+    connection; the event loop watches the fd for writability and
+    drains it.  Batching changes only how many syscalls carry the
+    bytes, never the bytes: frame encoding is shared with the eager
+    path, which the sim-vs-socket byte-equality test pins.  [batch =
+    false] in the config restores one write per message (the
+    [--no-batch] baseline the throughput bench measures against).
+
     {2 Wall-clock mode}
 
-    The loop is a [select] over the listening socket and all inbound
-    connections, with a periodic tick (the protocol's synchronization
-    interval): each tick applies the workload operations due, runs the
-    driver's tick and ships the outbound messages; inbound frames are
-    decoded and delivered through the driver, whose replies are sent
-    immediately.
+    The loop is an {!Evloop} (incrementally registered fds; [select]
+    backend today, the seam for epoll) over the listening socket, all
+    inbound connections, and any outbound connection with queued bytes,
+    with a periodic tick (the protocol's synchronization interval):
+    each tick applies the workload operations due, runs the driver's
+    tick and stages the outbound messages; inbound frames are decoded
+    and delivered through the driver, whose replies are staged and
+    flushed with the same pass.
 
     Replicas stop by mutual agreement rather than a wall clock.  A node
     is {e busy} while it still has operations to apply or its CRDT state
@@ -80,8 +99,16 @@ type config = {
   ops_ticks : int;  (** ticks during which operations are generated. *)
   quiet_ticks : int;  (** quiet ticks required before announcing Done. *)
   max_ticks : int;  (** hard bound on the run. *)
+  max_wall_s : float;
+      (** hard wall-clock bound on a wall-clock-mode run; [0.] means
+          unbounded.  A backstop for free-running benches: with ticks
+          paced down while a node waits for its peers' Dones, a crashed
+          peer would otherwise take ages to exhaust [max_ticks]. *)
   dial_timeout_s : float;  (** how long to retry dialing each peer. *)
   lockstep : bool;  (** round-barrier mode instead of wall-clock ticks. *)
+  batch : bool;
+      (** coalesce outbound frames into one write per peer per loop
+          pass (default); [false] restores one write per message. *)
   verbose : bool;
 }
 
@@ -95,10 +122,34 @@ let default_config ~id ~listen ~peers ~total =
     ops_ticks = 0;
     quiet_ticks = 5;
     max_ticks = 5000;
+    max_wall_s = 0.;
     dial_timeout_s = 10.;
     lockstep = false;
+    batch = true;
     verbose = false;
   }
+
+(* Growable sample store for per-tick latencies. *)
+type samples = { mutable buf : float array; mutable count : int }
+
+let samples () = { buf = Array.make 256 0.; count = 0 }
+
+let add_sample s x =
+  if s.count = Array.length s.buf then begin
+    let grown = Array.make (2 * s.count) 0. in
+    Array.blit s.buf 0 grown 0 s.count;
+    s.buf <- grown
+  end;
+  s.buf.(s.count) <- x;
+  s.count <- s.count + 1
+
+let percentile s p =
+  if s.count = 0 then 0.
+  else begin
+    let sorted = Array.sub s.buf 0 s.count in
+    Array.sort compare sorted;
+    sorted.(min (s.count - 1) (s.count * p / 100))
+  end
 
 let id_payload id =
   Crdt_wire.Codec.encode_to_string Crdt_wire.Codec.varint id
@@ -116,8 +167,16 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     counters : Trace.counters;
         (** the run's tallies, same accounting as the simulator's
             per-round records: received protocol messages with their
-            payload/metadata/wire costs, plus final memory sizes. *)
+            payload/metadata/wire costs, plus final memory sizes and
+            the write-syscall count. *)
     ops_applied : int;
+    writes : int;  (** successful [write(2)] calls over the whole run. *)
+    wall_s : float;  (** wall-clock duration of the serve loop. *)
+    tick_p99_us : float;
+        (** 99th-percentile duration of a wall-clock tick (apply +
+            driver tick + ship + flush), in microseconds; 0 in
+            lockstep mode (rounds there are barrier-, not work-,
+            bound). *)
     clean : bool;
         (** whether the run terminated by agreement (mutual [Done] /
             digest unanimity) rather than the [max_ticks] failsafe. *)
@@ -132,10 +191,14 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
   type state = {
     cfg : config;
     drv : D.t;
+    loop : Evloop.t;
+    listener : Unix.file_descr;
     out : (int, Conn.t) Hashtbl.t;  (** peer id ↦ dialed connection. *)
     mutable inbound : inbound list;
         (** accepted connections; pruned when a peer closes. *)
     peer_done : (int, unit) Hashtbl.t;
+    tick_times : samples;  (** wall-clock per-tick durations, seconds. *)
+    rng : Random.State.t;  (** dial-backoff jitter only. *)
     mutable quiet : int;
     mutable done_sent : bool;
     (* Lockstep bookkeeping. *)
@@ -153,51 +216,83 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       Printf.eprintf ("node %d: " ^^ fmt ^^ "\n%!") st.cfg.id
     else Printf.ifprintf stderr fmt
 
+  (* Dial with exponential backoff + jitter (capped), so a cluster
+     starting out of order waits instead of hammering connect(2) in a
+     busy loop.  TCP connections disable Nagle: the delta protocols
+     emit small frames whose delivery the default coalescing would
+     delay a full RTT-or-timer. *)
   let dial st (j, addr) =
     let deadline = Unix.gettimeofday () +. st.cfg.dial_timeout_s in
-    let rec attempt () =
+    let rec attempt delay =
       let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
       match Unix.connect fd (Addr.to_sockaddr addr) with
       | () -> fd
       | exception Unix.Unix_error ((ECONNREFUSED | ENOENT | ETIMEDOUT), _, _)
         when Unix.gettimeofday () < deadline ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
-          Unix.sleepf 0.05;
-          attempt ()
+          let jittered = delay *. (0.5 +. Random.State.float st.rng 0.5) in
+          let remaining = deadline -. Unix.gettimeofday () in
+          Unix.sleepf (Float.max 0. (Float.min jittered remaining));
+          attempt (Float.min 0.64 (delay *. 2.))
       | exception e ->
           (try Unix.close fd with Unix.Unix_error _ -> ());
           raise e
     in
-    let conn = Conn.create (attempt ()) in
+    let fd = attempt 0.01 in
+    (match addr with
+    | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+    | Addr.Unix_sock _ -> ());
+    let conn = Conn.create fd in
+    Evloop.add st.loop ~read:false (Conn.fd conn);
     (match Conn.send conn ~kind:kind_hello (id_payload st.cfg.id) with
-    | Ok () -> ()
+    | Ok () -> Evloop.set_write st.loop (Conn.fd conn) (Conn.pending_out conn > 0)
     | Error msg -> failwith (Printf.sprintf "hello to peer %d failed: %s" j msg));
     Hashtbl.replace st.out j conn;
     log st "connected to peer %d at %s" j (Addr.to_string addr)
 
-  (* Ship one protocol message to [dest].  A dead connection after the
-     peer announced Done is the expected shutdown race; before that it
-     is a hard error. *)
+  (* Flush a peer's staged/queued bytes and keep the event loop's write
+     interest in sync with what remains.  In wall-clock mode a dead
+     connection is the expected shutdown race — a peer exits once it is
+     quiet and has everyone's Done, and its own Done may still be deep
+     in our unread inbound backlog when our next write to it breaks; the
+     Done arrives on the {e inbound} connection regardless, so we log
+     and keep serving (a peer that truly crashed never sends Done and
+     the run ends unclean at [max_ticks]).  In lockstep mode the round
+     barriers mean no peer can be legitimately gone mid-run, so a write
+     failure is a hard error there. *)
+  let flush_peer ?(ignore_dead = false) st j conn =
+    match Conn.flush conn with
+    | Ok () ->
+        Evloop.set_write st.loop (Conn.fd conn) (Conn.pending_out conn > 0)
+    | Error m ->
+        Evloop.remove st.loop (Conn.fd conn);
+        if ignore_dead || Hashtbl.mem st.peer_done j || not st.cfg.lockstep
+        then log st "send to peer %d failed (%s); ignored" j m
+        else failwith (Printf.sprintf "send to peer %d failed: %s" j m)
+
+  let flush_all st = Hashtbl.iter (fun j conn -> flush_peer st j conn) st.out
+
+  (* Ship one protocol message to [dest]: stage it on the peer's
+     connection (batched mode — the loop flushes once per pass) or
+     stage + flush immediately (one write per message, the pre-batching
+     path kept for measurement). *)
   let ship st dest msg =
     match Hashtbl.find_opt st.out dest with
     | None -> failwith (Printf.sprintf "no connection to peer %d" dest)
-    | Some conn -> (
-        let payload = Crdt_wire.Codec.encode_to_string P.message_codec msg in
-        match Conn.send conn ~kind:kind_message payload with
-        | Ok () -> ()
-        | Error m when Hashtbl.mem st.peer_done dest ->
-            log st "send to finished peer %d failed (%s); ignored" dest m
-        | Error m ->
-            failwith (Printf.sprintf "send to peer %d failed: %s" dest m))
+    | Some conn ->
+        if st.cfg.batch then
+          Conn.stage_value conn ~kind:kind_message P.message_codec msg
+        else begin
+          let payload = Crdt_wire.Codec.encode_to_string P.message_codec msg in
+          Conn.stage conn ~kind:kind_message payload;
+          flush_peer st dest conn
+        end
 
   let broadcast st ~kind payload ~ignore_dead =
     Hashtbl.iter
       (fun j conn ->
-        match Conn.send conn ~kind payload with
-        | Ok () -> ()
-        | Error m when ignore_dead -> log st "send to peer %d failed (%s)" j m
-        | Error m ->
-            failwith (Printf.sprintf "send to peer %d failed: %s" j m))
+        Conn.stage conn ~kind payload;
+        flush_peer ~ignore_dead st j conn)
       st.out
 
   let decode_message ~src payload =
@@ -277,31 +372,25 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     else if kind = kind_done then ()
     else failwith (Printf.sprintf "unknown frame kind %d" kind)
 
-  (* One select pass: accept new connections, read every readable
-     inbound connection, dispatch its complete frames, and prune
-     connections the peers closed (the former leak: a closed connection
-     used to stay in the list and be selected forever).  Returns whether
-     any frame was processed. *)
-  let pump st listener ~timeout ~dispatch =
-    let readable =
-      let fds =
-        listener
-        :: List.filter_map
-             (fun ib -> if Conn.alive ib.conn then Some (Conn.fd ib.conn) else None)
-             st.inbound
-      in
-      match Unix.select fds [] [] timeout with
-      | r, _, _ -> r
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-    in
+  (* One event-loop pass: accept new connections, read every readable
+     inbound connection, dispatch its complete frames, drain outbound
+     connections whose fds turned writable, and prune connections the
+     peers closed (unregistering their fds — the former leak: a closed
+     connection used to stay in the list and be selected forever).
+     Returns whether any frame was processed. *)
+  let pump st ~timeout ~dispatch =
+    let readable, writable = Evloop.wait st.loop ~timeout in
     let progressed = ref false in
     List.iter
       (fun fd ->
-        if fd == listener then begin
-          let peer_fd, _ = Unix.accept listener in
-          st.inbound <-
-            { conn = Conn.create peer_fd; peer = ref None; marks = 0 }
-            :: st.inbound
+        if fd == st.listener then begin
+          let peer_fd, _ = Unix.accept st.listener in
+          (match st.cfg.listen with
+          | Addr.Tcp _ -> Unix.setsockopt peer_fd Unix.TCP_NODELAY true
+          | Addr.Unix_sock _ -> ());
+          let conn = Conn.create peer_fd in
+          Evloop.add st.loop ~read:true (Conn.fd conn);
+          st.inbound <- { conn; peer = ref None; marks = 0 } :: st.inbound
         end
         else
           match
@@ -324,8 +413,21 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
                     ("framing error: " ^ Crdt_wire.Codec.error_to_string e))
           | None -> ())
       readable;
-    if List.exists (fun ib -> not (Conn.alive ib.conn)) st.inbound then
-      st.inbound <- List.filter (fun ib -> Conn.alive ib.conn) st.inbound;
+    (* Outbound fds show up here only while a connection has queued
+       bytes (EAGAIN or a short write earlier); drain them now. *)
+    List.iter
+      (fun fd ->
+        Hashtbl.iter
+          (fun j conn -> if Conn.fd conn == fd then flush_peer st j conn)
+          st.out)
+      writable;
+    if List.exists (fun ib -> not (Conn.alive ib.conn)) st.inbound then begin
+      List.iter
+        (fun ib ->
+          if not (Conn.alive ib.conn) then Evloop.remove st.loop (Conn.fd ib.conn))
+        st.inbound;
+      st.inbound <- List.filter (fun ib -> Conn.alive ib.conn) st.inbound
+    end;
     !progressed
 
   let finished st =
@@ -348,19 +450,37 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       broadcast st ~kind:kind_done (id_payload st.cfg.id) ~ignore_dead:true
     end
 
-  let serve_wallclock st listener ~ops =
+  let serve_wallclock st ~ops =
     let tick_s = float_of_int st.cfg.tick_ms /. 1000. in
-    let next_tick = ref (Unix.gettimeofday () +. tick_s) in
+    let t_begin = Unix.gettimeofday () in
+    let next_tick = ref (t_begin +. tick_s) in
     let n = ref 0 in
     let result = ref None in
     while !result = None do
-      let timeout = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
+      let timeout =
+        let t = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
+        (* Free-running nodes (tick_ms = 0) that have announced Done and
+           are only waiting for their peers' Dones must not keep spinning
+           at full speed: the tick-rate digest flood starves a slower
+           peer of the cycles it needs to go quiet, and the waiter burns
+           through its own max_ticks budget in well under a second.
+           Pace the wait instead — pump still wakes immediately on
+           traffic, and a tick every couple of milliseconds is plenty to
+           keep soliciting anything a not-yet-done peer produces. *)
+        if t = 0. && st.done_sent && st.quiet >= st.cfg.quiet_ticks then 0.002
+        else t
+      in
       ignore
-        (pump st listener ~timeout
-           ~dispatch:(handle_frame_wallclock st ~tick:!n));
+        (pump st ~timeout ~dispatch:(handle_frame_wallclock st ~tick:!n));
       let now = Unix.gettimeofday () in
       if now >= !next_tick then begin
+        (* The tick and everything it staged — messages, replies raised
+           while pumping, a Done broadcast — leave in one flush: at most
+           one write(2) per peer for the whole pass. *)
+        let t0 = Unix.gettimeofday () in
         tick_wallclock st ~n:!n ~ops;
+        flush_all st;
+        add_sample st.tick_times (Unix.gettimeofday () -. t0);
         incr n;
         (* Catch up at most one interval: after a stall (a long select
            burst, a debugger pause) the old [+. tick_s] accumulation
@@ -374,39 +494,54 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             st.cfg.id st.cfg.max_ticks;
           result := Some false
         end
+        else if
+          st.cfg.max_wall_s > 0. && now -. t_begin > st.cfg.max_wall_s
+        then begin
+          Printf.eprintf "node %d: max_wall_s (%.0fs) reached before shutdown\n%!"
+            st.cfg.id st.cfg.max_wall_s;
+          result := Some false
+        end
       end
+      else
+        (* No tick due: replies staged while pumping still leave this
+           pass, coalesced per peer. *)
+        flush_all st
     done;
     (Option.get !result, !n)
 
   (* Lockstep helpers: block on the select loop until [cond] holds,
      failing loudly if the cluster stops making progress. *)
-  let lockstep_wait st listener ~what ~cond =
+  let lockstep_wait st ~what ~cond =
     let stall_s = 30. in
     let last_progress = ref (Unix.gettimeofday ()) in
     while not (cond ()) do
-      if pump st listener ~timeout:1.0 ~dispatch:(handle_frame_lockstep st)
-      then last_progress := Unix.gettimeofday ()
+      if pump st ~timeout:1.0 ~dispatch:(handle_frame_lockstep st) then
+        last_progress := Unix.gettimeofday ()
       else if Unix.gettimeofday () -. !last_progress > stall_s then
         failwith
           (Printf.sprintf "lockstep stalled for %.0fs waiting for %s" stall_s
              what)
     done
 
-  let serve_lockstep st listener ~digest ~ops =
+  let serve_lockstep st ~digest ~ops =
     let peer_ids = List.map fst st.cfg.peers in
     let r = ref 0 in
     let result = ref None in
     while !result = None do
       let round = !r in
       (* Replies buffered while waiting on the previous round's barrier
-         belong to this round's wave. *)
+         belong to this round's wave.  In batched mode the whole wave —
+         replies, tick messages, and the Mark that bounds it — is staged
+         and leaves in the broadcast's flush, one write per peer, with
+         FIFO order (and hence the mark-counting round attribution)
+         intact. *)
       List.iter (fun (dest, m) -> ship st dest m) (List.rev st.pending_out);
       st.pending_out <- [];
       if round < st.cfg.ops_ticks then
         ignore (D.apply st.drv (ops ~tick:round (D.state st.drv)));
       D.tick st.drv ~round ~emit:(fun ~dest m -> ship st dest m);
       broadcast st ~kind:kind_mark (id_payload round) ~ignore_dead:false;
-      lockstep_wait st listener
+      lockstep_wait st
         ~what:(Printf.sprintf "round %d marks" round)
         ~cond:(fun () ->
           List.for_all
@@ -434,7 +569,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         (Crdt_wire.Codec.encode_to_string digest_codec
            (round, (ops_done, my_digest)))
         ~ignore_dead:false;
-      lockstep_wait st listener
+      lockstep_wait st
         ~what:(Printf.sprintf "round %d digests" round)
         ~cond:(fun () ->
           List.for_all
@@ -494,13 +629,26 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         ~changed:(fun a b -> not (equal a b))
         ~id:cfg.id ~neighbors ~total:cfg.total ()
     in
+    Addr.cleanup cfg.listen;
+    let listener = Unix.socket (Addr.domain cfg.listen) Unix.SOCK_STREAM 0 in
+    (match cfg.listen with
+    | Addr.Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true
+    | Addr.Unix_sock _ -> ());
+    Unix.bind listener (Addr.to_sockaddr cfg.listen);
+    Unix.listen listener 64;
+    let loop = Evloop.create () in
+    Evloop.add loop ~read:true listener;
     let st =
       {
         cfg;
         drv;
+        loop;
+        listener;
         out = Hashtbl.create (List.length cfg.peers);
         inbound = [];
         peer_done = Hashtbl.create (List.length cfg.peers);
+        tick_times = samples ();
+        rng = Random.State.make [| cfg.id; 0x6e6574 |];
         quiet = 0;
         done_sent = false;
         msgq = Hashtbl.create 8;
@@ -509,20 +657,36 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         pending_out = [];
       }
     in
-    Addr.cleanup cfg.listen;
-    let listener = Unix.socket (Addr.domain cfg.listen) Unix.SOCK_STREAM 0 in
-    (match cfg.listen with
-    | Addr.Tcp _ -> Unix.setsockopt listener Unix.SO_REUSEADDR true
-    | Addr.Unix_sock _ -> ());
-    Unix.bind listener (Addr.to_sockaddr cfg.listen);
-    Unix.listen listener 64;
     log st "listening on %s" (Addr.to_string cfg.listen);
     (* Dial-all barrier: every peer must be reachable before the first
        tick, so no protocol message is ever emitted into the void. *)
     List.iter (dial st) cfg.peers;
+    let t_start = Unix.gettimeofday () in
     let clean, ticks =
-      if cfg.lockstep then serve_lockstep st listener ~digest ~ops
-      else serve_wallclock st listener ~ops
+      if cfg.lockstep then serve_lockstep st ~digest ~ops
+      else serve_wallclock st ~ops
+    in
+    let wall_s = Unix.gettimeofday () -. t_start in
+    (* Final drain: a frame queued behind a full socket buffer (a slow
+       peer under free-running ticks) must not be discarded by the
+       close below — the Done broadcast travels on this queue, and a
+       peer that never sees it waits until its max_ticks.  Switch each
+       still-loaded connection to blocking with a send timeout and push
+       the remainder out; a dead peer just errors and is dropped. *)
+    Hashtbl.iter
+      (fun j conn ->
+        if Conn.alive conn && Conn.pending_out conn > 0 then begin
+          (try
+             Unix.clear_nonblock (Conn.fd conn);
+             Unix.setsockopt_float (Conn.fd conn) Unix.SO_SNDTIMEO 5.0
+           with Unix.Unix_error _ -> ());
+          match Conn.flush conn with
+          | Ok () -> ()
+          | Error m -> log st "final drain to peer %d failed (%s)" j m
+        end)
+      st.out;
+    let writes =
+      Hashtbl.fold (fun _ c acc -> acc + Conn.writes c) st.out 0
     in
     Hashtbl.iter (fun _ c -> Conn.close c) st.out;
     List.iter (fun ib -> Conn.close ib.conn) st.inbound;
@@ -532,11 +696,15 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     counters.memory_weight <- D.memory_weight drv;
     counters.memory_bytes <- D.memory_bytes drv;
     counters.metadata_memory_bytes <- D.metadata_memory_bytes drv;
+    counters.writes <- writes;
     {
       state = D.state drv;
       ticks;
       counters;
       ops_applied = D.ops_applied drv;
+      writes;
+      wall_s;
+      tick_p99_us = percentile st.tick_times 99 *. 1e6;
       clean;
     }
 end

@@ -298,9 +298,17 @@ let union ~name cases =
 
 let encode_to_buffer c buf x = c.write buf x
 
+(** Append the binary form of [x] to [buf].  This is the zero-copy
+    entry point of the batched I/O path: a caller that owns a reusable
+    buffer (a per-connection outbound queue, a payload scratch) encodes
+    straight into it, with no intermediate string.  Byte-for-byte
+    identical to {!encode_to_string} — the writers are the same — which
+    the wire test suite checks across every registered message codec. *)
+let encode_into buf c x = c.write buf x
+
 let encode_to_string c x =
   let buf = Buffer.create 64 in
-  c.write buf x;
+  encode_into buf c x;
   Buffer.contents buf
 
 let encoded_size c x =

@@ -27,15 +27,36 @@ let default_max_payload = 16 * 1024 * 1024
 (** Exact on-the-wire size of a frame holding [payload_len] bytes. *)
 let framed_size ~payload_len = 3 + Codec.varint_size payload_len + payload_len
 
-let encode ~kind payload =
+let add_header buf ~kind ~payload_len =
   if kind < 0 || kind > 0xff then invalid_arg "Frame.encode: bad kind";
-  let len = String.length payload in
-  let buf = Buffer.create (framed_size ~payload_len:len) in
   Buffer.add_char buf (Char.chr magic);
   Buffer.add_char buf (Char.chr version);
   Buffer.add_char buf (Char.chr kind);
-  Codec.write_varint buf len;
-  Buffer.add_string buf payload;
+  Codec.write_varint buf payload_len
+
+(** Append a complete frame holding [payload] to [buf].  The batched
+    send path coalesces every frame bound for one peer into a single
+    outbound buffer with this — the bytes are exactly what {!encode}
+    produces, only their destination differs. *)
+let encode_into buf ~kind payload =
+  add_header buf ~kind ~payload_len:(String.length payload);
+  Buffer.add_string buf payload
+
+(** Append a frame whose payload is [codec]-encoded [v], with zero
+    intermediate strings: the payload is staged in [scratch] (cleared
+    first; ownership stays with the caller, who reuses it across
+    calls — the encode-buffer-reuse half of the batched path) only
+    because the varint length prefix must precede bytes whose count is
+    not known until they are written. *)
+let encode_value_into ~scratch buf ~kind codec v =
+  Buffer.clear scratch;
+  Codec.encode_into scratch codec v;
+  add_header buf ~kind ~payload_len:(Buffer.length scratch);
+  Buffer.add_buffer buf scratch
+
+let encode ~kind payload =
+  let buf = Buffer.create (framed_size ~payload_len:(String.length payload)) in
+  encode_into buf ~kind payload;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

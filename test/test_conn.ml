@@ -1,0 +1,173 @@
+(* Socket-level tests for the batched connection layer (lib/net/conn)
+   over real socketpairs: write coalescing (many staged frames, one
+   write(2)), partial-write queueing and draining under a congested
+   socket, and dead-peer error reporting.  These pin the Conn contract
+   the runtime's event loop relies on; byte-level equality of the
+   batched and unbatched encodings is covered in test_wire.ml, and the
+   end-to-end cluster behavior in test_net_convergence.ml. *)
+
+module Conn = Crdt_net.Conn
+module Frame = Crdt_wire.Frame
+
+(* A write to a closed peer must surface as an [Error], not kill the
+   process. *)
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let socketpair () = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+
+let payload i = Printf.sprintf "frame-%d-%s" i (String.make (i mod 23) 'y')
+
+(* Drain everything currently readable from a nonblocking fd. *)
+let read_available fd buf =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let coalescing_tests =
+  [
+    Alcotest.test_case "50 staged frames leave in one write(2)" `Quick
+      (fun () ->
+        let a, b = socketpair () in
+        let conn = Conn.create a in
+        let n = 50 in
+        for i = 0 to n - 1 do
+          Conn.stage conn ~kind:(i mod 5) (payload i)
+        done;
+        check_int "staging never touches the socket" 0 (Conn.writes conn);
+        check "staged bytes are pending" true (Conn.pending_out conn > 0);
+        (match Conn.flush conn with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "flush: %s" m);
+        check_int "one write for the whole batch" 1 (Conn.writes conn);
+        check_int "nothing left queued" 0 (Conn.pending_out conn);
+        let expected =
+          String.concat ""
+            (List.init n (fun i -> Frame.encode ~kind:(i mod 5) (payload i)))
+        in
+        let got = Buffer.create 4096 in
+        Unix.set_nonblock b;
+        read_available b got;
+        Alcotest.(check string)
+          "receiver sees the concatenated frames byte-exactly" expected
+          (Buffer.contents got);
+        Conn.close conn;
+        Unix.close b);
+    Alcotest.test_case "send is one write per message" `Quick (fun () ->
+        let a, b = socketpair () in
+        let conn = Conn.create a in
+        for i = 0 to 4 do
+          match Conn.send conn ~kind:1 (payload i) with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "send: %s" m
+        done;
+        check_int "five messages, five writes" 5 (Conn.writes conn);
+        Conn.close conn;
+        Unix.close b);
+  ]
+
+let backpressure_tests =
+  [
+    Alcotest.test_case "partial write queues; repeated flush drains" `Quick
+      (fun () ->
+        let a, b = socketpair () in
+        let conn = Conn.create a in
+        (* Far more than any socket buffer: the first flush must hit
+           EAGAIN with a queued remainder, and that must be Ok, not an
+           error (the old path raised on any short write). *)
+        let big = String.make (4 * 1024 * 1024) 'z' in
+        Conn.stage conn ~kind:2 big;
+        (match Conn.flush conn with
+        | Ok () -> ()
+        | Error m -> Alcotest.failf "first flush: %s" m);
+        check "remainder queued after EAGAIN" true (Conn.pending_out conn > 0);
+        check "connection still healthy" true (Conn.alive conn);
+        let got = Buffer.create (String.length big + 64) in
+        Unix.set_nonblock b;
+        let rounds = ref 0 in
+        while Conn.pending_out conn > 0 && !rounds < 10_000 do
+          incr rounds;
+          read_available b got;
+          match Conn.flush conn with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "drain flush: %s" m
+        done;
+        read_available b got;
+        check_int "everything eventually drained" 0 (Conn.pending_out conn);
+        check "took more than one write" true (Conn.writes conn > 1);
+        Alcotest.(check string)
+          "received stream is the staged frame" (Frame.encode ~kind:2 big)
+          (Buffer.contents got);
+        Conn.close conn;
+        Unix.close b);
+    Alcotest.test_case "flush to a closed peer reports Error" `Quick
+      (fun () ->
+        let a, b = socketpair () in
+        let conn = Conn.create a in
+        Unix.close b;
+        (* The kernel may accept a buffered write or two before EPIPE
+           surfaces; keep pushing until the error comes through. *)
+        let rec poke k =
+          if k = 0 then Alcotest.fail "no error after many writes to dead peer"
+          else begin
+            Conn.stage conn ~kind:1 (String.make 4096 'q');
+            match Conn.flush conn with
+            | Ok () -> poke (k - 1)
+            | Error _ -> ()
+          end
+        in
+        poke 100;
+        check "connection marked dead" false (Conn.alive conn);
+        (match Conn.send conn ~kind:1 "after" with
+        | Ok () -> Alcotest.fail "send succeeded on a dead connection"
+        | Error _ -> ());
+        Conn.close conn);
+  ]
+
+let recv_tests =
+  [
+    Alcotest.test_case "one read surfaces every buffered frame" `Quick
+      (fun () ->
+        let a, b = socketpair () in
+        let conn = Conn.create a in
+        let n = 20 in
+        let stream =
+          String.concat ""
+            (List.init n (fun i -> Frame.encode ~kind:(i mod 3) (payload i)))
+        in
+        let w = Unix.write_substring b stream 0 (String.length stream) in
+        check_int "test stream fits the socket buffer" (String.length stream) w;
+        (match Conn.recv conn with
+        | Ok frames ->
+            Alcotest.(check (list (pair int string)))
+              "all frames, in order"
+              (List.init n (fun i -> (i mod 3, payload i)))
+              frames
+        | Error `Closed -> Alcotest.fail "recv: closed"
+        | Error (`Bad e) ->
+            Alcotest.failf "recv: %s" (Crdt_wire.Codec.error_to_string e));
+        Unix.close b;
+        (match Conn.recv conn with
+        | Error `Closed -> ()
+        | Ok _ | Error (`Bad _) -> Alcotest.fail "EOF not reported as Closed");
+        check "closed on EOF" false (Conn.alive conn);
+        Conn.close conn);
+  ]
+
+let () =
+  Alcotest.run "conn"
+    [
+      ("coalescing", coalescing_tests);
+      ("backpressure", backpressure_tests);
+      ("recv", recv_tests);
+    ]

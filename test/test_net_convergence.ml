@@ -126,7 +126,7 @@ let scrape_int ~key json =
    when [metrics] is set, the cluster's total wire bytes as reported by
    `--metrics-out`. *)
 let run_cluster ?(protocol = "delta-bp+rr") ?(lockstep = false)
-    ?(metrics = false) ~crdt ~n ~ops () =
+    ?(metrics = false) ?(no_batch = false) ~crdt ~n ~ops () =
   let exe = crdtsync () in
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -157,6 +157,7 @@ let run_cluster ?(protocol = "delta-bp+rr") ?(lockstep = false)
             "--state-out"; state i;
           ]
           @ (if lockstep then [ "--lockstep" ] else [])
+          @ (if no_batch then [ "--no-batch" ] else [])
           @ (if metrics then [ "--metrics-out"; metrics_file i ] else [])
           @ peers
         in
@@ -263,10 +264,13 @@ let sim_wire_bytes ~crdt ~protocol ~n ~ops =
 (* The headline engine claim: a --lockstep socket cluster and the
    in-process simulator running the same seeded workload account the
    same wire traffic, to the byte.  Any divergence in what the shared
-   driver ships or how the trace layer counts it fails this test. *)
-let cross_check ~crdt ~n ~ops () =
+   driver ships or how the trace layer counts it fails this test.
+   Running it both batched (the default) and with --no-batch pins the
+   coalescing invariant: batching changes write(2) counts, never wire
+   bytes, so both modes must land on the simulator's exact total. *)
+let cross_check ?no_batch ~crdt ~n ~ops () =
   let encodings, socket_bytes =
-    run_cluster ~lockstep:true ~metrics:true ~crdt ~n ~ops ()
+    run_cluster ~lockstep:true ~metrics:true ?no_batch ~crdt ~n ~ops ()
   in
   Alcotest.(check bool)
     "all replicas encode byte-identically" true (all_identical encodings);
@@ -286,6 +290,14 @@ let () =
             gmap_test;
           Alcotest.test_case "3 Scuttlebutt replicas converge over sockets"
             `Quick scuttlebutt_test;
+          Alcotest.test_case "4 GSet replicas converge with --no-batch" `Quick
+            (fun () ->
+              let encodings, _ =
+                run_cluster ~no_batch:true ~crdt:"gset" ~n:4 ~ops:10 ()
+              in
+              Alcotest.(check bool)
+                "all replicas encode byte-identically" true
+                (all_identical encodings));
         ] );
       ( "sim-vs-socket wire bytes",
         [
@@ -295,5 +307,8 @@ let () =
           Alcotest.test_case "GMap lockstep cluster matches the simulator"
             `Quick
             (cross_check ~crdt:"gmap" ~n:3 ~ops:8);
+          Alcotest.test_case
+            "GSet lockstep --no-batch matches the simulator too" `Quick
+            (cross_check ~no_batch:true ~crdt:"gset" ~n:3 ~ops:8);
         ] );
     ]

@@ -392,6 +392,39 @@ struct
                   (Frame.framed_size ~payload_len:(String.length enc))
                   (P.message_wire_bytes m))
           msgs)
+
+  (* The batched data path appends into reused buffers instead of
+     allocating a string per message; batching must never change a wire
+     byte, so [encode_into] (into a buffer that already holds other
+     data) and [Frame.encode_value_into] (the staging path Conn uses)
+     must agree byte-for-byte with their allocating counterparts on
+     every message the protocol actually produces. *)
+  let test_into =
+    Alcotest.test_case
+      (W.name ^ ": encode_into agrees with encode_to_string")
+      `Quick
+      (fun () ->
+        let msgs = collect () in
+        check "harvested some messages" true (msgs <> []);
+        let buf = Buffer.create 256 in
+        let framed = Buffer.create 256 in
+        let scratch = Buffer.create 256 in
+        List.iter
+          (fun m ->
+            let enc = Codec.encode_to_string P.message_codec m in
+            Buffer.clear buf;
+            Buffer.add_string buf "prior-bytes";
+            Codec.encode_into buf P.message_codec m;
+            Alcotest.(check string)
+              "encode_into appends exactly encode_to_string"
+              ("prior-bytes" ^ enc) (Buffer.contents buf);
+            Buffer.clear framed;
+            Frame.encode_value_into ~scratch framed ~kind:1 P.message_codec m;
+            Alcotest.(check string)
+              "Frame.encode_value_into = Frame.encode"
+              (Frame.encode ~kind:1 enc)
+              (Buffer.contents framed))
+          msgs)
 end
 
 open Crdt_proto
@@ -487,6 +520,14 @@ let message_tests =
     Msg_op.test;
     Msg_merkle.test;
     Msg_sharded.test;
+    Msg_state.test_into;
+    Msg_bp_rr.test_into;
+    Msg_ack.test_into;
+    Msg_delta_gmap.test_into;
+    Msg_scuttlebutt.test_into;
+    Msg_op.test_into;
+    Msg_merkle.test_into;
+    Msg_sharded.test_into;
   ]
 
 (* -- primitive codecs ---------------------------------------------------- *)
@@ -595,6 +636,41 @@ let adversarial_tests =
           "all frames recovered in order"
           (List.mapi (fun i p -> (i mod 3, p)) payloads)
           (List.rev !got);
+        check_int "nothing pending" 0 (Frame.pending_bytes feed));
+    Alcotest.test_case "burst: hundreds of frames in one chunk" `Quick
+      (fun () ->
+        (* The batched writer hands the receiver many frames per read(2):
+           a single pushed chunk must yield every frame, in order, and
+           the coalesced stream must be byte-identical to concatenating
+           the per-frame encoder's output. *)
+        let n = 500 in
+        let payload i = Printf.sprintf "payload-%d-%s" i (String.make (i mod 37) 'x') in
+        let buf = Buffer.create 8192 in
+        for i = 0 to n - 1 do
+          Frame.encode_into buf ~kind:(i mod 5) (payload i)
+        done;
+        let expected =
+          String.concat ""
+            (List.init n (fun i -> Frame.encode ~kind:(i mod 5) (payload i)))
+        in
+        Alcotest.(check string)
+          "encode_into stream = concatenated Frame.encode" expected
+          (Buffer.contents buf);
+        let feed = Frame.feed () in
+        Frame.push feed (Buffer.contents buf);
+        let got = ref 0 in
+        let rec drain () =
+          match Frame.pop feed with
+          | Ok (Some (kind, p)) ->
+              check_int "kind" (!got mod 5) kind;
+              Alcotest.(check string) "payload" (payload !got) p;
+              incr got;
+              drain ()
+          | Ok None -> ()
+          | Error e -> Alcotest.failf "feed: %s" (Codec.error_to_string e)
+        in
+        drain ();
+        check_int "every frame recovered" n !got;
         check_int "nothing pending" 0 (Frame.pending_bytes feed));
     qtest
       (QCheck.Test.make ~count:200 ~name:"arbitrary bytes never crash Frame.decode"
