@@ -15,17 +15,17 @@ let all_ids =
   [
     "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
     "ablation"; "cpu"; "delta"; "sim_scale"; "fault_matrix"; "wire_size";
-    "net_throughput";
+    "net_throughput"; "divergence_sweep";
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [--quick|--paper] [--json] [%s ...]\n(fig11 also prints \
      Fig 12; no ids = run everything; --json makes `delta` / `sim_scale` / \
-     `fault_matrix` / `wire_size` / `net_throughput` write \
-     BENCH_delta_kernels.json / BENCH_sim_scale.json / \
+     `fault_matrix` / `wire_size` / `net_throughput` / `divergence_sweep` \
+     write BENCH_delta_kernels.json / BENCH_sim_scale.json / \
      BENCH_fault_matrix.json / BENCH_wire_size.json / \
-     BENCH_net_throughput.json)\n"
+     BENCH_net_throughput.json / BENCH_divergence_sweep.json)\n"
     (String.concat "|" all_ids)
 
 let () =
@@ -89,6 +89,11 @@ let () =
             Net_throughput.run ~quick
               ?json_path:
                 (if json then Some "BENCH_net_throughput.json" else None)
+              ()
+        | "divergence_sweep" ->
+            Divergence_sweep.run ~quick
+              ?json_path:
+                (if json then Some "BENCH_divergence_sweep.json" else None)
               ()
         | _ -> assert false)
       ids;

@@ -200,11 +200,11 @@ let metrics_out_arg =
 (* The shared totals schema: what the simulator accumulates per run and
    the socket runtime accumulates per process. *)
 let totals_json ~messages ~payload ~metadata ~payload_bytes ~metadata_bytes
-    ~wire_bytes ~ops_applied =
+    ~wire_bytes ~ops_applied ~sync_rounds ~digest_bytes =
   Printf.sprintf
-    {|{"messages":%d,"payload":%d,"metadata":%d,"payload_bytes":%d,"metadata_bytes":%d,"wire_bytes":%d,"ops_applied":%d}|}
+    {|{"messages":%d,"payload":%d,"metadata":%d,"payload_bytes":%d,"metadata_bytes":%d,"wire_bytes":%d,"ops_applied":%d,"sync_rounds":%d,"digest_bytes":%d}|}
     messages payload metadata payload_bytes metadata_bytes wire_bytes
-    ops_applied
+    ops_applied sync_rounds digest_bytes
 
 let summary_totals_json (s : Metrics.summary) =
   totals_json ~messages:s.Metrics.total_messages ~payload:s.Metrics.total_payload
@@ -212,12 +212,15 @@ let summary_totals_json (s : Metrics.summary) =
     ~payload_bytes:s.Metrics.total_payload_bytes
     ~metadata_bytes:s.Metrics.total_metadata_bytes
     ~wire_bytes:s.Metrics.total_wire_bytes ~ops_applied:s.Metrics.total_ops
+    ~sync_rounds:s.Metrics.total_sync_rounds
+    ~digest_bytes:s.Metrics.total_digest_bytes
 
 let counters_totals_json (c : Trace.counters) =
   totals_json ~messages:c.Trace.messages ~payload:c.Trace.payload
     ~metadata:c.Trace.metadata ~payload_bytes:c.Trace.payload_bytes
     ~metadata_bytes:c.Trace.metadata_bytes ~wire_bytes:c.Trace.wire_bytes
-    ~ops_applied:c.Trace.ops_applied
+    ~ops_applied:c.Trace.ops_applied ~sync_rounds:c.Trace.sync_rounds
+    ~digest_bytes:c.Trace.digest_bytes
 
 let write_file path content =
   let oc = open_out path in
@@ -303,25 +306,41 @@ let micro_metrics_json ~crdt ~topology ~nodes ~rounds outcomes =
     (String.concat ",\n" results)
 
 let run_micro crdt topology nodes rounds k domains faults bytes trace_out
-    metrics_out =
+    metrics_out only_protocols =
   try
     let topo = Topology.of_name topology nodes in
     Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
       rounds;
     let module S = (val Registry.find_crdt crdt) in
     let module H = Harness.Make (S.C) in
-    (* Registry exclusions (cells that are not meaningful) come off
-       first; then, under an active fault plan, the ack-mode δ-buffer
+    (* An explicit --protocol list names the lineup exactly (validated
+       against the registry); otherwise every registered protocol runs.
+       Registry exclusions (cells that are not meaningful) come off
+       next; then, under an active fault plan, the ack-mode δ-buffer
        joins the lineup — the delta variant built for lossy channels —
        and capability masking drops what the plan overwhelms. *)
+    let sel =
+      match only_protocols with
+      | [] -> Harness.all_protocols
+      | names ->
+          List.fold_left
+            (fun sel name ->
+              ignore (Registry.find_protocol name);
+              Harness.enable sel name)
+            Harness.none_protocols names
+    in
     let sel =
       List.fold_left
         (fun sel name ->
           if Option.is_some (S.excluded name) then Harness.disable sel name
           else sel)
-        Harness.all_protocols Registry.protocol_names
+        sel Registry.protocol_names
     in
-    let sel = { sel with Harness.delta_ack = Fault.active faults } in
+    let sel =
+      if only_protocols = [] then
+        { sel with Harness.delta_ack = Fault.active faults }
+      else sel
+    in
     let selection, skipped = H.mask_unsupported faults sel in
     report_skipped skipped;
     let outcomes =
@@ -364,12 +383,22 @@ let micro_cmd =
       & info [ "k" ] ~docv:"K" ~doc:"GMap only: percentage of keys updated \
                                      globally per round.")
   in
+  let only_protocols =
+    Arg.(
+      value & opt_all string []
+      & info [ "protocol"; "p" ] ~docv:"PROTO"
+          ~doc:
+            (Printf.sprintf
+               "Run only PROTO (repeatable); default is every registered \
+                protocol.  Known: %s."
+               (String.concat ", " Registry.protocol_names)))
+  in
   Cmd.v
     (Cmd.info "micro" ~doc:"Run a Table I micro-benchmark under every protocol")
     Term.(
       const run_micro $ crdt $ topology_arg $ nodes_arg $ rounds_arg $ k
       $ domains_arg $ fault_term $ bytes_arg $ trace_out_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ only_protocols)
 
 (* -- retwis ------------------------------------------------------------- *)
 

@@ -1,0 +1,64 @@
+(* Bloom filter over 63-bit keys (Hash.of_value of irreducibles).
+
+   Sized from (expected insertions, target false-positive rate) with
+   the standard optima: bits = -n ln p / ln² 2, k = bits/n · ln 2.
+   Membership uses double hashing — h1 + i·h2 mod nbits — which is
+   indistinguishable from k independent hash functions at these sizes
+   and costs two derives per key. *)
+
+type t = { nbits : int; k : int; bits : Bytes.t }
+
+let bytes_for nbits = (nbits + 7) / 8
+
+let create ~expected ~fpr =
+  if not (fpr > 0. && fpr < 1.) then invalid_arg "Bloom.create: fpr outside (0, 1)";
+  let n = max 1 expected in
+  let ln2 = log 2. in
+  let nbits =
+    max 64 (int_of_float (ceil (-.float_of_int n *. log fpr /. (ln2 *. ln2))))
+  in
+  let k = max 1 (int_of_float (Float.round (float_of_int nbits /. float_of_int n *. ln2))) in
+  { nbits; k; bits = Bytes.make (bytes_for nbits) '\000' }
+
+let indexes t key f =
+  let h1 = Hash.derive ~salt:101 key in
+  let h2 = Hash.derive ~salt:202 key lor 1 in
+  for i = 0 to t.k - 1 do
+    (* OCaml ints wrap on overflow; land max_int keeps the index
+       non-negative. *)
+    f ((h1 + (i * h2)) land max_int mod t.nbits)
+  done
+
+let add t key =
+  indexes t key (fun bit ->
+      let byte = bit lsr 3 and off = bit land 7 in
+      Bytes.unsafe_set t.bits byte
+        (Char.chr (Char.code (Bytes.unsafe_get t.bits byte) lor (1 lsl off))))
+
+let mem t key =
+  let ok = ref true in
+  indexes t key (fun bit ->
+      let byte = bit lsr 3 and off = bit land 7 in
+      if Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl off) = 0 then
+        ok := false);
+  !ok
+
+let of_keys ~fpr keys =
+  let t = create ~expected:(List.length keys) ~fpr in
+  List.iter (add t) keys;
+  t
+
+(* Wire size of the bit array itself (the dominant term). *)
+let bits_bytes t = Bytes.length t.bits
+
+let codec =
+  let open Crdt_wire.Codec in
+  conv_partial
+    (fun t -> ((t.nbits, t.k), Bytes.to_string t.bits))
+    (fun ((nbits, k), bits) ->
+      if nbits < 1 then Error (Malformed "bloom: nbits < 1")
+      else if k < 1 || k > 64 then Error (Malformed "bloom: k outside [1, 64]")
+      else if String.length bits <> bytes_for nbits then
+        Error (Malformed "bloom: bit array length mismatch")
+      else Ok { nbits; k; bits = Bytes.of_string bits })
+    (pair (pair varint varint) string)

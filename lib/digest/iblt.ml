@@ -1,0 +1,119 @@
+(* Rateless invertible Bloom lookup table over 63-bit keys.
+
+   A cell holds {count; key_sum; hash_sum}: signed insertion count, xor
+   of inserted keys, xor of a 32-bit check hash of each key.  Cell-wise
+   subtraction of two tables built over key sets A and B cancels every
+   shared key exactly, leaving a table of the symmetric difference with
+   signs (+1 = only in A's table, -1 = only in B's).
+
+   Ratelessness: instead of fixing the table size up front (which needs
+   a size-estimation round), each key maps to an *infinite* deterministic
+   index stream with density ~2/i at index i — index 0 always, then
+   geometrically growing gaps drawn from a key-seeded splitmix64 PRNG.
+   Any prefix [0, m) of the infinite table is a valid IBLT whose load
+   per cell falls as m grows, so a sender can keep streaming cells until
+   the receiver's peeling decoder succeeds; expected decode happens at
+   m ≈ 1.35–2× the difference size, regardless of set size.  (This is
+   the construction from Rateless IBLTs, SIGCOMM '24, which ConflictSync
+   builds on.)
+
+   Everything is commutative xor/add, so table construction is
+   independent of key enumeration order — both ends of a session build
+   identical cells from Hashtbl or fold_decompose iteration without any
+   sorting. *)
+
+type cell = { count : int; key_sum : int; hash_sum : int }
+
+let zero_cell = { count = 0; key_sum = 0; hash_sum = 0 }
+let is_zero c = c.count = 0 && c.key_sum = 0 && c.hash_sum = 0
+
+(* 32-bit check hash: small on the wire, and a false peel needs a
+   simultaneous key_sum/hash_sum collision (~2^-32 per candidate). *)
+let check key = Hash.derive ~salt:303 key land 0xffffffff
+
+(* Visit every index of [key]'s stream below [limit], in ascending
+   order.  Gap after index i is 1 + (rand mod (i + 2)): mean gap grows
+   linearly, so a key touches O(log limit) cells. *)
+let iter_indexes ~key ~limit f =
+  let st = Hash.stream (Hash.derive ~salt:404 key) in
+  let i = ref 0 in
+  while !i < limit do
+    f !i;
+    i := !i + 1 + (Hash.next st mod (!i + 2))
+  done
+
+let add_key cells ~lo ~sign key =
+  let len = Array.length cells in
+  let h = check key in
+  iter_indexes ~key ~limit:(lo + len) (fun i ->
+      if i >= lo then begin
+        let c = cells.(i - lo) in
+        cells.(i - lo) <-
+          {
+            count = c.count + sign;
+            key_sum = c.key_sum lxor key;
+            hash_sum = c.hash_sum lxor h;
+          }
+      end)
+
+(* Cells [lo, lo+len) of the infinite table over [keys]. *)
+let build ~keys ~lo ~len =
+  let cells = Array.make len zero_cell in
+  List.iter (fun key -> add_key cells ~lo ~sign:1 key) keys;
+  cells
+
+(* Cell-wise a - b (tables over the same index range). *)
+let sub a b =
+  if Array.length a <> Array.length b then invalid_arg "Iblt.sub: length mismatch";
+  Array.init (Array.length a) (fun i ->
+      let x = a.(i) and y = b.(i) in
+      {
+        count = x.count - y.count;
+        key_sum = x.key_sum lxor y.key_sum;
+        hash_sum = x.hash_sum lxor y.hash_sum;
+      })
+
+(* Peel a difference table: repeatedly find a pure cell (|count| = 1 and
+   the check hash confirms key_sum is a single key), record the key with
+   its sign, remove it everywhere.  Success iff every cell zeroes out —
+   then (plus, minus) is exactly the signed symmetric difference.
+   Deterministic: cells are scanned in ascending index order. *)
+let peel cells =
+  let n = Array.length cells in
+  let c = Array.copy cells in
+  let plus = ref [] and minus = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for i = 0 to n - 1 do
+      let cell = c.(i) in
+      if
+        (cell.count = 1 || cell.count = -1)
+        && cell.key_sum <> 0
+        && cell.hash_sum = check cell.key_sum
+      then begin
+        let key = cell.key_sum and sign = cell.count in
+        if sign = 1 then plus := key :: !plus else minus := key :: !minus;
+        let h = check key in
+        iter_indexes ~key ~limit:n (fun j ->
+            let cj = c.(j) in
+            c.(j) <-
+              {
+                count = cj.count - sign;
+                key_sum = cj.key_sum lxor key;
+                hash_sum = cj.hash_sum lxor h;
+              });
+        progress := true
+      end
+    done
+  done;
+  if Array.for_all is_zero c then Some (List.rev !plus, List.rev !minus)
+  else None
+
+(* Wire: count is signed (zigzag), sums are non-negative varints. *)
+let cell_codec =
+  let open Crdt_wire.Codec in
+  conv
+    (fun c -> (c.count, c.key_sum, c.hash_sum))
+    (fun (count, key_sum, hash_sum) -> { count; key_sum; hash_sum })
+    (triple int varint varint)

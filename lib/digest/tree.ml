@@ -1,0 +1,40 @@
+(* Merkle digest-tree helpers shared by the hash-tree protocols.
+
+   The tree is a dense array-of-levels over [fanout^depth] leaf buckets:
+   level [depth] holds the bucket hashes, each inner node combines its
+   children with a multiplicative mix.  Element hashing is the caller's
+   business (the protocols hash irreducibles with {!Hash.of_value});
+   this module owns bucket placement, the order-independent bucket
+   digest and the level-by-level rollup — one digest story for every
+   tree-shaped reconciliation. *)
+
+let leaves ~fanout ~depth =
+  int_of_float (Float.pow (float_of_int fanout) (float_of_int depth))
+
+(* Deterministic bucket of an element hash. *)
+let bucket_of ~leaves h = h mod leaves
+
+(* Order-independent digest of one bucket's element hashes. *)
+let bucket_hash hashes = List.fold_left (fun acc h -> acc lxor h) 0 hashes
+
+(* Children are combined positionally, so sibling order matters (unlike
+   within a bucket): acc * 1_000_003 + child. *)
+let combine_children acc child = (acc * 1_000_003) + child
+
+(* Level-by-level digests from the leaf hashes: level d has fanout^d
+   nodes, level [depth] is [bucket_hashes] itself. *)
+let compute ~fanout ~depth bucket_hashes =
+  let levels = Array.make (depth + 1) [||] in
+  levels.(depth) <- bucket_hashes;
+  for d = depth - 1 downto 0 do
+    let width = int_of_float (Float.pow (float_of_int fanout) (float_of_int d)) in
+    levels.(d) <-
+      Array.init width (fun i ->
+          let child_base = i * fanout in
+          let acc = ref 0 in
+          for k = 0 to fanout - 1 do
+            acc := combine_children !acc levels.(d + 1).(child_base + k)
+          done;
+          !acc)
+  done;
+  levels

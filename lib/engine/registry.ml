@@ -83,6 +83,16 @@ let protocols : proto list =
       module Make (C : Protocol_intf.CRDT) =
         Merkle_sync.Make (C) (Merkle_sync.Default_config)
     end);
+    (module struct
+      let name = "conflict-sync"
+
+      let doc =
+        "delta steady state + Bloom/rateless-IBLT digest reconciliation \
+         of divergent state (ConflictSync)"
+
+      module Make (C : Protocol_intf.CRDT) =
+        Conflict_sync.Make (C) (Conflict_sync.Default_config)
+    end);
   ]
 
 let protocol_name (p : proto) =

@@ -154,6 +154,10 @@ type counters = {
   mutable memory_bytes : int;
   mutable metadata_memory_bytes : int;
   mutable writes : int;
+  mutable sync_rounds : int;
+  mutable digest_bytes : int;
+  mutable last_sync_round : int;
+      (* internal: last round already counted in [sync_rounds]. *)
 }
 
 let make_counters () =
@@ -174,6 +178,9 @@ let make_counters () =
     memory_bytes = 0;
     metadata_memory_bytes = 0;
     writes = 0;
+    sync_rounds = 0;
+    digest_bytes = 0;
+    last_sync_round = -1;
   }
 
 let reset_counters c =
@@ -192,7 +199,10 @@ let reset_counters c =
   c.memory_weight <- 0;
   c.memory_bytes <- 0;
   c.metadata_memory_bytes <- 0;
-  c.writes <- 0
+  c.writes <- 0;
+  c.sync_rounds <- 0;
+  c.digest_bytes <- 0;
+  c.last_sync_round <- -1
 
 let counting c =
   {
@@ -201,14 +211,28 @@ let counting c =
       (fun ~src:_ ~dest:_ ~round:_ ~weight:_ ~metadata:_ ~payload_bytes:_
            ~metadata_bytes:_ ~wire_bytes:_ -> c.sent <- c.sent + 1);
     recv =
-      (fun ~node:_ ~src:_ ~round:_ ~weight ~metadata ~payload_bytes
+      (fun ~node:_ ~src:_ ~round ~weight ~metadata ~payload_bytes
            ~metadata_bytes ~wire_bytes ->
         c.messages <- c.messages + 1;
         c.payload <- c.payload + weight;
         c.metadata <- c.metadata + metadata;
         c.payload_bytes <- c.payload_bytes + payload_bytes;
         c.metadata_bytes <- c.metadata_bytes + metadata_bytes;
-        c.wire_bytes <- c.wire_bytes + wire_bytes);
+        c.wire_bytes <- c.wire_bytes + wire_bytes;
+        (* Pure control traffic — digests, sync requests, IBLT cells,
+           acks: metadata with no payload.  Tally its bytes separately
+           and count each round that carries any of it as a sync
+           round. *)
+        if weight = 0 && metadata > 0 then begin
+          c.digest_bytes <-
+            c.digest_bytes
+            + (if wire_bytes > 0 then wire_bytes
+               else payload_bytes + metadata_bytes);
+          if round <> c.last_sync_round then begin
+            c.sync_rounds <- c.sync_rounds + 1;
+            c.last_sync_round <- round
+          end
+        end);
     deliver = (fun ~node:_ ~src:_ ~round:_ -> c.delivered <- c.delivered + 1);
     drop = (fun ~node:_ ~src:_ ~round:_ -> c.dropped <- c.dropped + 1);
     hold = (fun ~node:_ ~src:_ ~round:_ -> c.held <- c.held + 1);

@@ -127,6 +127,15 @@ type counters = {
   mutable memory_bytes : int;
   mutable metadata_memory_bytes : int;
   mutable writes : int;
+  mutable sync_rounds : int;
+      (** rounds in which at least one pure control message (zero payload
+          weight, non-zero metadata) was delivered — digest exchanges,
+          reconciliation sessions and other anti-entropy chatter. *)
+  mutable digest_bytes : int;
+      (** wire bytes of that control traffic (estimate bytes when the
+          driver runs estimate-only accounting). *)
+  mutable last_sync_round : int;
+      (** internal: last round counted into [sync_rounds] (dedup). *)
 }
 
 val make_counters : unit -> counters

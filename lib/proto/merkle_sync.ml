@@ -27,11 +27,13 @@ end
 
 module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op = struct
+  module Tree = Crdt_digest.Tree
+
   type crdt = C.t
   type op = C.op
 
   let fanout = Cfg.fanout
-  let leaves = int_of_float (Float.pow (float_of_int fanout) (float_of_int Cfg.depth))
+  let leaves = Tree.leaves ~fanout ~depth:Cfg.depth
 
   type node = {
     id : Crdt_core.Replica_id.t;
@@ -81,38 +83,26 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
   let local_update n op =
     { n with x = C.mutate op n.id n.x; work = n.work + 1 }
 
-  (* Deterministic bucket of an irreducible: structural hash of its
-     state (irreducibles have canonical representations, so the hash is
-     stable across replicas within a run). *)
-  let bucket_of y = Hashtbl.hash y mod leaves
+  (* Deterministic bucket of an irreducible: the repo-wide digest hash
+     (FNV-1a over the irreducible's wire encoding, lib/digest), so
+     bucket placement is stable across processes — not just within a
+     run, as the old structural [Hashtbl.hash] was. *)
+  let hash_of y = Crdt_digest.Hash.of_value C.codec y
+  let bucket_of y = Tree.bucket_of ~leaves (hash_of y)
 
   let buckets x =
     let b = Array.make leaves [] in
     List.iter (fun y -> b.(bucket_of y) <- y :: b.(bucket_of y)) (C.decompose x);
     b
 
-  (* Hash of one bucket: order-independent combination of element
-     hashes. *)
-  let bucket_hash elements =
-    List.fold_left (fun acc y -> acc lxor Hashtbl.hash y) 0 elements
-
   (* Level-by-level digests: level d has fanout^d nodes; level Cfg.depth
-     holds the bucket hashes. *)
+     holds the bucket hashes (order-independent within a bucket). *)
   let compute_tree x =
     let b = buckets x in
-    let levels = Array.make (Cfg.depth + 1) [||] in
-    levels.(Cfg.depth) <- Array.map bucket_hash b;
-    for d = Cfg.depth - 1 downto 0 do
-      let width = int_of_float (Float.pow (float_of_int fanout) (float_of_int d)) in
-      levels.(d) <-
-        Array.init width (fun i ->
-            let child_base = i * fanout in
-            let acc = ref 0 in
-            for k = 0 to fanout - 1 do
-              acc := (!acc * 1_000_003) + levels.(d + 1).(child_base + k)
-            done;
-            !acc)
-    done;
+    let levels =
+      Tree.compute ~fanout ~depth:Cfg.depth
+        (Array.map (fun elements -> Tree.bucket_hash (List.map hash_of elements)) b)
+    in
     (levels, b)
 
   (* Hashing the whole state is what these protocols pay for; charge the

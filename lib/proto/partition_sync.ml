@@ -18,10 +18,12 @@
 open Crdt_core
 
 (** A digest abstracts a state [x] by a predicate deciding, for any
-    join-irreducible [y], whether [y ⊑ x], plus its wire size.  For a
-    GSet the natural digest is a hash-set of its elements (here: the
-    membership predicate with a per-element digest cost); for a GCounter,
-    the version vector itself. *)
+    join-irreducible [y], whether [y ⊑ x], plus its wire size.  Built as
+    a real hash set of [⇓x]'s irreducible hashes ({!Crdt_digest.Hash}
+    through the lattice codec — the repo-wide digest hash), so [covers]
+    is what actually travels: 8 bytes per irreducible, with the standard
+    hash-set caveat that a collision can claim coverage of an element
+    the peer lacks (probability ~2⁻⁶³ per pair). *)
 type 'a digest = { covers : 'a -> bool; digest_bytes : int }
 
 module Make (C : Lattice_intf.DECOMPOSABLE) = struct
@@ -45,11 +47,22 @@ module Make (C : Lattice_intf.DECOMPOSABLE) = struct
     in
     (a', b', stats)
 
-  (** Digest of a state built from its decomposition: covers y iff
-      [y ⊑ x].  [bytes_per_element] models the size of one digest entry
-      (e.g. a hash); the default 8 B is a 64-bit hash per irreducible. *)
+  (** Digest of a state built from its decomposition: a hash set over
+      [⇓x], covering y iff y's hash is present.  [bytes_per_element]
+      sizes one digest entry on the wire; the default 8 B is the 64-bit
+      hash per irreducible that [Crdt_digest.Hash] produces. *)
   let digest_of ?(bytes_per_element = 8) x =
-    { covers = (fun y -> C.leq y x); digest_bytes = C.weight x * bytes_per_element }
+    let keys = Hashtbl.create 64 in
+    let count = ref 0 in
+    C.fold_decompose
+      (fun y () ->
+        incr count;
+        Hashtbl.replace keys (Crdt_digest.Hash.of_value C.codec y) ())
+      x ();
+    {
+      covers = (fun y -> Hashtbl.mem keys (Crdt_digest.Hash.of_value C.codec y));
+      digest_bytes = !count * bytes_per_element;
+    }
 
   (** [digest_driven a b] converges A and B in 3 messages without ever
       shipping a full state: digests flow A→B, deltas flow both ways. *)

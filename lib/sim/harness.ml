@@ -38,6 +38,9 @@ type selection = {
   merkle : bool;
       (** hash-tree anti-entropy, an extension baseline beyond the
           paper's protocol set (related work [32, 33]). *)
+  conflict_sync : bool;
+      (** digest/IBLT divergence reconciliation (ConflictSync), another
+          extension baseline. *)
 }
 
 let all_protocols =
@@ -52,6 +55,7 @@ let all_protocols =
     scuttlebutt_gc = true;
     op_based = true;
     merkle = true;
+    conflict_sync = true;
   }
 
 let delta_only =
@@ -66,6 +70,7 @@ let delta_only =
     scuttlebutt_gc = false;
     op_based = false;
     merkle = false;
+    conflict_sync = false;
   }
 
 (* Registry name ↔ selection field.  The registry order is the stable
@@ -81,6 +86,7 @@ let enabled sel = function
   | "scuttlebutt-gc" -> sel.scuttlebutt_gc
   | "op-based" -> sel.op_based
   | "merkle" -> sel.merkle
+  | "conflict-sync" -> sel.conflict_sync
   | name -> invalid_arg ("Harness: protocol not mapped to selection: " ^ name)
 
 let disable sel = function
@@ -94,7 +100,38 @@ let disable sel = function
   | "scuttlebutt-gc" -> { sel with scuttlebutt_gc = false }
   | "op-based" -> { sel with op_based = false }
   | "merkle" -> { sel with merkle = false }
+  | "conflict-sync" -> { sel with conflict_sync = false }
   | name -> invalid_arg ("Harness: protocol not mapped to selection: " ^ name)
+
+let enable sel = function
+  | "state-based" -> { sel with state_based = true }
+  | "delta-classic" -> { sel with delta_classic = true }
+  | "delta-bp" -> { sel with delta_bp = true }
+  | "delta-rr" -> { sel with delta_rr = true }
+  | "delta-bp+rr" -> { sel with delta_bp_rr = true }
+  | "delta-bp+rr-ack" -> { sel with delta_ack = true }
+  | "scuttlebutt" -> { sel with scuttlebutt = true }
+  | "scuttlebutt-gc" -> { sel with scuttlebutt_gc = true }
+  | "op-based" -> { sel with op_based = true }
+  | "merkle" -> { sel with merkle = true }
+  | "conflict-sync" -> { sel with conflict_sync = true }
+  | name -> invalid_arg ("Harness: protocol not mapped to selection: " ^ name)
+
+(* Everything off: the base for an explicit --protocol list. *)
+let none_protocols =
+  {
+    state_based = false;
+    delta_classic = false;
+    delta_bp = false;
+    delta_rr = false;
+    delta_bp_rr = false;
+    delta_ack = false;
+    scuttlebutt = false;
+    scuttlebutt_gc = false;
+    op_based = false;
+    merkle = false;
+    conflict_sync = false;
+  }
 
 module Make (C : Protocol_intf.CRDT) = struct
   type ops = round:int -> node:int -> C.t -> C.op list

@@ -34,6 +34,13 @@ type round = {
       (** messages captured by a per-link delay this round; each is
           counted in [messages] later, at its delivery round. *)
   partitioned : int;  (** messages cut by an active partition this round. *)
+  sync_rounds : int;
+      (** 1 when at least one pure control message (zero payload weight,
+          non-zero metadata) was delivered this round — digest exchanges
+          and reconciliation-session traffic; 0 otherwise. *)
+  digest_bytes : int;
+      (** wire bytes of that control traffic this round (estimate bytes
+          under [Estimate] accounting). *)
 }
 
 let empty_round =
@@ -51,6 +58,8 @@ let empty_round =
     dropped = 0;
     held = 0;
     partitioned = 0;
+    sync_rounds = 0;
+    digest_bytes = 0;
   }
 
 type summary = {
@@ -70,6 +79,10 @@ type summary = {
   total_dropped : int;
   total_held : int;
   total_partitioned : int;
+  total_sync_rounds : int;
+      (** rounds that carried pure control traffic (digests, sessions). *)
+  total_digest_bytes : int;
+      (** wire bytes of that control traffic over all rounds. *)
 }
 
 let summarize (rounds : round array) : summary =
@@ -95,6 +108,8 @@ let summarize (rounds : round array) : summary =
     total_dropped = fold (fun acc r -> acc + r.dropped) 0;
     total_held = fold (fun acc r -> acc + r.held) 0;
     total_partitioned = fold (fun acc r -> acc + r.partitioned) 0;
+    total_sync_rounds = fold (fun acc r -> acc + r.sync_rounds) 0;
+    total_digest_bytes = fold (fun acc r -> acc + r.digest_bytes) 0;
   }
 
 (** Grand total of transmitted units (payload + metadata). *)

@@ -33,6 +33,13 @@ type round = {
       (** messages captured by a per-link delay this round; each is
           counted in [messages] later, at its delivery round. *)
   partitioned : int;  (** messages cut by an active partition this round. *)
+  sync_rounds : int;
+      (** 1 when at least one pure control message (zero payload weight,
+          non-zero metadata) was delivered this round — digest exchanges
+          and reconciliation-session traffic; 0 otherwise. *)
+  digest_bytes : int;
+      (** wire bytes of that control traffic this round (estimate bytes
+          under [Estimate] accounting). *)
 }
 
 val empty_round : round
@@ -56,6 +63,10 @@ type summary = {
   total_dropped : int;
   total_held : int;
   total_partitioned : int;
+  total_sync_rounds : int;
+      (** rounds that carried pure control traffic (digests, sessions). *)
+  total_digest_bytes : int;
+      (** wire bytes of that control traffic over all rounds. *)
 }
 
 val summarize : round array -> summary

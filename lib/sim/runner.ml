@@ -343,6 +343,10 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             dropped = r.dropped + c.dropped;
             held = r.held + c.held;
             partitioned = r.partitioned + c.partitioned;
+            (* Per-shard counters are reset every round, so each shard
+               contributes 0 or 1; the round-level flag is their OR. *)
+            sync_rounds = min 1 (r.sync_rounds + c.sync_rounds);
+            digest_bytes = r.digest_bytes + c.digest_bytes;
           })
         { Metrics.empty_round with ops_applied }
         eng.counters

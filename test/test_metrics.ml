@@ -8,7 +8,8 @@ let check_int = Alcotest.(check int)
 let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     ?(metadata_bytes = 0) ?(wire_bytes = 0) ?(memory_weight = 0)
     ?(memory_bytes = 0) ?(metadata_memory_bytes = 0) ?(ops_applied = 0)
-    ?(dropped = 0) ?(held = 0) ?(partitioned = 0) () : Metrics.round =
+    ?(dropped = 0) ?(held = 0) ?(partitioned = 0) ?(sync_rounds = 0)
+    ?(digest_bytes = 0) () : Metrics.round =
   {
     messages;
     payload;
@@ -23,6 +24,8 @@ let round ?(messages = 0) ?(payload = 0) ?(metadata = 0) ?(payload_bytes = 0)
     dropped;
     held;
     partitioned;
+    sync_rounds;
+    digest_bytes;
   }
 
 let tests =

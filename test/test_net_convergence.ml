@@ -268,14 +268,15 @@ let sim_wire_bytes ~crdt ~protocol ~n ~ops =
    Running it both batched (the default) and with --no-batch pins the
    coalescing invariant: batching changes write(2) counts, never wire
    bytes, so both modes must land on the simulator's exact total. *)
-let cross_check ?no_batch ~crdt ~n ~ops () =
+let cross_check ?(protocol = "delta-bp+rr") ?no_batch ~crdt ~n ~ops () =
   let encodings, socket_bytes =
-    run_cluster ~lockstep:true ~metrics:true ?no_batch ~crdt ~n ~ops ()
+    run_cluster ~protocol ~lockstep:true ~metrics:true ?no_batch ~crdt ~n ~ops
+      ()
   in
   Alcotest.(check bool)
     "all replicas encode byte-identically" true (all_identical encodings);
   Alcotest.(check bool) "sockets moved bytes" true (socket_bytes > 0);
-  let sim_bytes = sim_wire_bytes ~crdt ~protocol:"delta-bp+rr" ~n ~ops in
+  let sim_bytes = sim_wire_bytes ~crdt ~protocol ~n ~ops in
   Alcotest.(check int) "simulator and sockets agree on total wire bytes"
     sim_bytes socket_bytes
 
@@ -310,5 +311,13 @@ let () =
           Alcotest.test_case
             "GSet lockstep --no-batch matches the simulator too" `Quick
             (cross_check ~no_batch:true ~crdt:"gset" ~n:3 ~ops:8);
+          (* Conflict-sync broadcasts a digest every tick, so this cell
+             additionally pins that the lockstep barrier and the
+             simulator's quiesce loop stop at the same round boundary —
+             one extra round on either side would show up as n*(n-1)
+             stray digest frames. *)
+          Alcotest.test_case
+            "GSet conflict-sync lockstep matches the simulator" `Quick
+            (cross_check ~protocol:"conflict-sync" ~crdt:"gset" ~n:3 ~ops:8);
         ] );
     ]

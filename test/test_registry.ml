@@ -27,6 +27,7 @@ let expected_protocols =
   [
     "state-based"; "delta-classic"; "delta-bp"; "delta-rr"; "delta-bp+rr";
     "delta-bp+rr-ack"; "scuttlebutt"; "scuttlebutt-gc"; "op-based"; "merkle";
+    "conflict-sync";
   ]
 
 let expected_crdts = [ "gset"; "gcounter"; "gmap"; "orset" ]

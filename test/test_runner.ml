@@ -114,13 +114,13 @@ module H = Harness.Make (Si)
 
 let harness_tests =
   [
-    Alcotest.test_case "default selection runs all nine protocols" `Quick
+    Alcotest.test_case "default selection runs all ten protocols" `Quick
       (fun () ->
         let topo = Topology.ring 5 in
         let outcomes =
           H.run ~topology:topo ~rounds:4 ~ops:(unique_ops topo) ()
         in
-        check_int "nine" 9 (List.length outcomes);
+        check_int "ten" 10 (List.length outcomes);
         check "all converged" true
           (List.for_all (fun (o : Harness.outcome) -> o.converged) outcomes));
     Alcotest.test_case "delta_only runs classic and bp+rr" `Quick (fun () ->
@@ -175,7 +175,7 @@ let harness_tests =
           [
             "state-based"; "delta-classic"; "delta-bp"; "delta-rr";
             "delta-bp+rr"; "scuttlebutt"; "scuttlebutt-gc"; "op-based";
-            "merkle";
+            "merkle"; "conflict-sync";
           ]
           (List.map (fun (o : Harness.outcome) -> o.protocol) outcomes));
   ]

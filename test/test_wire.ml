@@ -491,6 +491,40 @@ module Msg_merkle =
       let ops_at = gset_ops
     end)
 
+(* Conflict-sync under the default tuning: the crash/recover at round 3
+   triggers the post-restart resync sessions, so the harvest carries
+   Delta, Digest, SyncReq, Cells and the decoded-session close legs. *)
+module Msg_conflict =
+  Proto_messages
+    (Conflict_sync.Make (Gset.Of_int) (Conflict_sync.Default_config))
+    (struct
+      let name = "conflict-sync/GSet"
+      let ops_at = gset_ops
+    end)
+
+(* Near-zero escalation threshold + a heavier op rate: the resync
+   difference is too big for two cells, so this harvest additionally
+   carries More, BloomReq and BloomResp — the escalation wire surface
+   the default harvest never reaches. *)
+module Tiny_escalation_config = struct
+  let fpr = 0.05
+  let chunk0 = 1
+  let escalate_cells = 2
+  let mismatch_streak = 1
+  let quiet_ticks = 1
+  let session_timeout = 4
+end
+
+module Msg_conflict_bloom =
+  Proto_messages
+    (Conflict_sync.Make (Gset.Of_int) (Tiny_escalation_config))
+    (struct
+      let name = "conflict-sync-bloom/GSet"
+
+      let ops_at ~round ~node =
+        List.init 8 (fun k -> (round * 1000) + (node * 100) + k)
+    end)
+
 module Shard_key = struct
   type t = int
 
@@ -519,6 +553,8 @@ let message_tests =
     Msg_scuttlebutt.test;
     Msg_op.test;
     Msg_merkle.test;
+    Msg_conflict.test;
+    Msg_conflict_bloom.test;
     Msg_sharded.test;
     Msg_state.test_into;
     Msg_bp_rr.test_into;
@@ -527,7 +563,74 @@ let message_tests =
     Msg_scuttlebutt.test_into;
     Msg_op.test_into;
     Msg_merkle.test_into;
+    Msg_conflict.test_into;
+    Msg_conflict_bloom.test_into;
     Msg_sharded.test_into;
+  ]
+
+(* -- corruption fuzz over real conflict-sync traffic --------------------- *)
+
+(* The new wire surface (digests, cell streams, Bloom filters) must shrug
+   off damaged inputs: any truncation or bit flip of a genuine message
+   either decodes to an error or to some valid message — never an
+   exception — and whatever does decode re-encodes canonically (so a
+   corrupted input can't smuggle in a value the sender could not have
+   produced). *)
+let corruption_tests =
+  let module P = Conflict_sync.Make (Gset.Of_int) (Tiny_escalation_config) in
+  let module M =
+    Proto_messages
+      (P)
+      (struct
+        let name = "conflict-sync fuzz"
+
+        let ops_at ~round ~node =
+          List.init 8 (fun k -> (round * 1000) + (node * 100) + k)
+      end)
+  in
+  let well_formed what s =
+    match Codec.decode_string P.message_codec s with
+    | Error _ -> ()
+    | Ok m ->
+        let enc = Codec.encode_to_string P.message_codec m in
+        (match Codec.decode_string P.message_codec enc with
+        | Ok m' ->
+            Alcotest.(check string)
+              (what ^ ": accepted corruption re-encodes stably")
+              enc
+              (Codec.encode_to_string P.message_codec m')
+        | Error e ->
+            Alcotest.failf "%s: accepted value fails to roundtrip: %s" what
+              (Codec.error_to_string e))
+  in
+  [
+    Alcotest.test_case "every truncation of every message is handled" `Quick
+      (fun () ->
+        let msgs = M.collect () in
+        check "harvested some messages" true (msgs <> []);
+        List.iter
+          (fun m ->
+            let enc = Codec.encode_to_string P.message_codec m in
+            for len = 0 to String.length enc - 1 do
+              well_formed
+                (Printf.sprintf "truncate to %d/%d" len (String.length enc))
+                (String.sub enc 0 len)
+            done)
+          msgs);
+    Alcotest.test_case "single bit flips are handled" `Quick (fun () ->
+        let msgs = M.collect () in
+        List.iter
+          (fun m ->
+            let enc = Codec.encode_to_string P.message_codec m in
+            String.iteri
+              (fun i c ->
+                let b = Bytes.of_string enc in
+                Bytes.set b i (Char.chr (Char.code c lxor (1 lsl (i mod 8))));
+                well_formed
+                  (Printf.sprintf "flip bit %d of byte %d" (i mod 8) i)
+                  (Bytes.to_string b))
+              enc)
+          msgs);
   ]
 
 (* -- primitive codecs ---------------------------------------------------- *)
@@ -725,6 +828,7 @@ let () =
       ("Deep", Deep_w.tests);
       ("Retwis", User_w.tests);
       ("messages", message_tests);
+      ("corruption fuzz", corruption_tests);
       ("adversarial", adversarial_tests);
       ("vclock", vclock_tests);
     ]
