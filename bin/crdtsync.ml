@@ -5,6 +5,7 @@
      retwis  run the Retwis application benchmark (classic vs BP+RR)
      serve   run one live replica over real sockets (lib/net runtime)
      topo    describe a topology
+     check   model-check SEC invariants over protocol × CRDT cells
 
    Examples:
      crdtsync micro --crdt gset --topology mesh --nodes 15 --rounds 100
@@ -745,9 +746,173 @@ let topo_cmd =
     (Cmd.info "topo" ~doc:"Describe a topology")
     Term.(const run_topo $ topology_arg $ nodes_arg)
 
+(* -- check -------------------------------------------------------------- *)
+
+let run_check proto crdt replicas ops_per rounds max_faults flush walks
+    walk_len seed replay =
+  let module Cells = Crdt_check.Cells in
+  let module Checker = Crdt_check.Checker in
+  let checker_cfg =
+    {
+      Checker.default_config with
+      replicas;
+      script_len = ops_per;
+      flush_rounds = flush;
+    }
+  in
+  try
+    match replay with
+    | Some schedule -> begin
+        let proto =
+          match proto with
+          | Some p -> p
+          | None -> invalid_arg "--replay needs --protocol"
+        and crdt =
+          match crdt with
+          | Some c -> c
+          | None -> invalid_arg "--replay needs --crdt"
+        in
+        match Cells.replay checker_cfg ~proto ~crdt ~schedule with
+        | None ->
+            Printf.printf "%s x %s: replay ok (no violation)\n" proto crdt;
+            0
+        | Some v ->
+            Printf.printf "%s x %s: replay violates %s at step %d\n  %s\n"
+              proto crdt v.invariant v.at_step v.detail;
+            1
+      end
+    | None ->
+        let cfg =
+          {
+            Cells.checker = checker_cfg;
+            rounds;
+            max_faults;
+            seed;
+            walks;
+            walk_len;
+          }
+        in
+        let targets =
+          Cells.cells ()
+          |> List.filter (fun (p, c) ->
+                 (match proto with Some p' -> p = p' | None -> true)
+                 && match crdt with Some c' -> c = c' | None -> true)
+        in
+        if targets = [] then invalid_arg "no matching protocol x crdt cells";
+        let violations = ref 0 in
+        List.iter
+          (fun (p, c) ->
+            let r = Cells.check_cell cfg ~proto:p ~crdt:c in
+            match r.failure with
+            | None ->
+                Printf.printf "%-16s x %-12s ok (%d schedules, %d walks)\n" p
+                  c r.exhaustive r.walks
+            | Some f ->
+                incr violations;
+                Printf.printf
+                  "%-16s x %-12s VIOLATION %s\n\
+                  \  %s\n\
+                  \  schedule: %s\n\
+                  \  shrunk:   %s\n\
+                  \  replay:   crdtsync check --protocol %s --crdt %s \
+                   --replay '%s'\n"
+                  p c f.invariant f.detail f.schedule f.shrunk p c f.shrunk)
+          targets;
+        if !violations = 0 then 0 else 1
+  with Invalid_argument msg ->
+    Printf.eprintf "error: %s\n" msg;
+    2
+
+let check_cmd =
+  let proto =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "protocol"; "p" ] ~docv:"NAME"
+          ~doc:"Check only this protocol (default: all registered).")
+  in
+  let crdt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "crdt"; "c" ] ~docv:"NAME"
+          ~doc:"Check only this CRDT (default: all registered).")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Replica group size for the exhaustive tier (default 2).")
+  in
+  let ops_per =
+    Arg.(
+      value & opt int 4
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Scripted operations per replica (default 4).")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:"Rounds per exhaustive schedule (default 3).")
+  in
+  let max_faults =
+    Arg.(
+      value & opt int 2
+      & info [ "max-faults" ] ~docv:"F"
+          ~doc:"Non-deliver fate budget per exhaustive schedule (default 2).")
+  in
+  let flush =
+    Arg.(
+      value & opt int 48
+      & info [ "flush-rounds" ] ~docv:"R"
+          ~doc:"Fault-free rounds allowed for convergence (default 48).")
+  in
+  let walks =
+    Arg.(
+      value & opt int 64
+      & info [ "walks" ] ~docv:"N"
+          ~doc:"Random walks per cell, 0 to disable (default 64).")
+  in
+  let walk_len =
+    Arg.(
+      value & opt int 80
+      & info [ "walk-len" ] ~docv:"N"
+          ~doc:"Atomic steps per random walk (default 80).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"S" ~doc:"Base seed for the random tier.")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Replay one schedule (as printed by a violation report) against \
+             the cell named by --protocol/--crdt instead of exploring.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Model-check SEC invariants over protocol x CRDT cells (exhaustive \
+          small-scope schedules + seeded random walks)")
+    Term.(
+      const run_check $ proto $ crdt $ replicas $ ops_per $ rounds
+      $ max_faults $ flush $ walks $ walk_len $ seed $ replay)
+
 let () =
   let doc = "Efficient synchronization of state-based CRDTs — experiments" in
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "crdtsync" ~version:"1.0.0" ~doc)
-          [ micro_cmd; retwis_cmd; serve_cmd; partition_cmd; topo_cmd ]))
+          [
+            micro_cmd;
+            retwis_cmd;
+            serve_cmd;
+            partition_cmd;
+            topo_cmd;
+            check_cmd;
+          ]))

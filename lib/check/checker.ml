@@ -1,0 +1,484 @@
+(* SEC model checker over one protocol × CRDT cell; see checker.mli.
+
+   Exploration strategy: the exhaustive tier does NOT enumerate raw
+   interleavings (chatty protocols make branching^depth infeasible and
+   protocol nodes are abstract, so there is no state hashing to prune
+   with).  Instead it enumerates round plans — per round and per link,
+   one fate for everything queued on that link — and records the exact
+   per-message step list while executing, so the artifact handed to the
+   shrinker and to [--replay] is always a plain schedule.  Fine-grained
+   tick/deliver races are covered by the seeded random tier, which picks
+   enabled atomic steps one at a time. *)
+
+type config = {
+  replicas : int;
+  script_len : int;
+  flush_rounds : int;
+  max_steps : int;
+}
+
+let default_config =
+  { replicas = 2; script_len = 4; flush_rounds = 48; max_steps = 100_000 }
+
+type violation = { invariant : string; detail : string; at_step : int }
+type outcome = { explored : int; failure : (Schedule.t * violation) option }
+
+exception Violation of violation
+
+module Make (C : Crdt_core.Lattice_intf.CRDT) (P : sig
+  include
+    Crdt_proto.Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op
+end) =
+struct
+  module D = Crdt_engine.Driver.Make (P)
+
+  type ops = node:int -> index:int -> C.t -> C.op list
+
+  type sys = {
+    cfg : config;
+    ops : ops;
+    drv : D.t array;
+    links : P.message Queue.t array array; (* [src].(dst) *)
+    held : P.message Queue.t array array;
+    ops_done : int array;
+    mutable oracle : C.t;
+    mutable step_no : int; (* index of the step being executed; -1 in flush *)
+  }
+
+  let make_sys cfg ops =
+    let n = cfg.replicas in
+    let neighbors id = List.init n Fun.id |> List.filter (fun j -> j <> id) in
+    {
+      cfg;
+      ops;
+      drv =
+        Array.init n (fun id ->
+            D.create ~id ~neighbors:(neighbors id) ~total:n ());
+      links = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+      held = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+      ops_done = Array.make n 0;
+      oracle = C.bottom;
+      step_no = 0;
+    }
+
+  let fail sys invariant fmt =
+    Format.kasprintf
+      (fun detail ->
+        raise (Violation { invariant; detail; at_step = sys.step_no }))
+      fmt
+
+  let emit sys src ~dest msg =
+    if dest >= 0 && dest < sys.cfg.replicas && dest <> src then
+      Queue.add msg sys.links.(src).(dest)
+
+  let check_monotone sys r before after =
+    if not (C.leq before after) then
+      fail sys "monotonicity" "replica %d state shrank (weight %d -> %d)" r
+        (C.weight before) (C.weight after)
+
+  let check_phantom sys r =
+    let x = D.state sys.drv.(r) in
+    if not (C.leq x sys.oracle) then
+      fail sys "phantom-state"
+        "replica %d holds state outside the oracle (weight %d vs oracle %d)"
+        r (C.weight x) (C.weight sys.oracle)
+
+  let deliver_checked sys ~src ~dst msg =
+    let d = sys.drv.(dst) in
+    let before = D.state d in
+    D.deliver d ~round:sys.step_no ~src ~emit:(emit sys dst) msg;
+    let after = D.state d in
+    check_monotone sys dst before after;
+    check_phantom sys dst
+
+  (* Execute one step against the live system.  Steps that are not
+     enabled are skipped (see schedule.mli); raises [Violation]. *)
+  let exec_step sys (step : Schedule.step) =
+    match step with
+    | Op r ->
+        let d = sys.drv.(r) in
+        if (not (D.down d)) && sys.ops_done.(r) < sys.cfg.script_len then begin
+          let index = sys.ops_done.(r) in
+          sys.ops_done.(r) <- index + 1;
+          let before = D.state d in
+          let script = sys.ops ~node:r ~index before in
+          let (_ : int) = D.apply d script in
+          let after = D.state d in
+          check_monotone sys r before after;
+          (* The oracle takes the op's CRDT-level intended effect, not
+             the replica's post-op state: a protocol that mangles (or
+             drops) local updates must not get to launder that through
+             the no-data-loss baseline. *)
+          let intended =
+            List.fold_left
+              (fun x op -> C.mutate op (Crdt_core.Replica_id.of_int r) x)
+              before script
+          in
+          sys.oracle <- C.join sys.oracle intended;
+          check_phantom sys r
+        end
+    | Tick r ->
+        let d = sys.drv.(r) in
+        if not (D.down d) then begin
+          let before = D.state d in
+          D.tick d ~round:sys.step_no ~emit:(emit sys r);
+          check_monotone sys r before (D.state d);
+          check_phantom sys r
+        end
+    | Deliver (s, t) ->
+        if not (Queue.is_empty sys.links.(s).(t)) then begin
+          let msg = Queue.pop sys.links.(s).(t) in
+          (* delivering to a down node is the transport's drop *)
+          if not (D.down sys.drv.(t)) then deliver_checked sys ~src:s ~dst:t msg
+        end
+    | Duplicate (s, t) ->
+        if not (Queue.is_empty sys.links.(s).(t)) then begin
+          let msg = Queue.pop sys.links.(s).(t) in
+          if not (D.down sys.drv.(t)) then begin
+            deliver_checked sys ~src:s ~dst:t msg;
+            let first = D.state sys.drv.(t) in
+            deliver_checked sys ~src:s ~dst:t msg;
+            let second = D.state sys.drv.(t) in
+            if not (C.equal first second) then
+              fail sys "redelivery"
+                "redelivering a message from %d changed replica %d's state \
+                 (weight %d -> %d)"
+                s t (C.weight first) (C.weight second)
+          end
+        end
+    | Drop (s, t) ->
+        if not (Queue.is_empty sys.links.(s).(t)) then
+          ignore (Queue.pop sys.links.(s).(t))
+    | Delay (s, t) ->
+        if not (Queue.is_empty sys.links.(s).(t)) then
+          Queue.add (Queue.pop sys.links.(s).(t)) sys.held.(s).(t)
+    | Release (s, t) ->
+        if not (Queue.is_empty sys.held.(s).(t)) then
+          Queue.add (Queue.pop sys.held.(s).(t)) sys.links.(s).(t)
+    | Crash r ->
+        let d = sys.drv.(r) in
+        if not (D.down d) then begin
+          let before = D.state d in
+          D.crash d ~round:sys.step_no;
+          if not (C.equal before (D.state d)) then
+            fail sys "durability"
+              "crash lost durable state at replica %d (weight %d -> %d)" r
+              (C.weight before) (C.weight (D.state d))
+        end
+    | Recover r ->
+        let d = sys.drv.(r) in
+        if D.down d then begin
+          let before = D.state d in
+          D.recover d ~round:sys.step_no;
+          check_monotone sys r before (D.state d);
+          check_phantom sys r
+        end
+
+  let iter_links sys f =
+    let n = sys.cfg.replicas in
+    for s = 0 to n - 1 do
+      for t = 0 to n - 1 do
+        if s <> t then f s t
+      done
+    done
+
+  (* Fault-free rounds after the schedule: release everything held,
+     recover everyone, then tick + drain until all replicas hold exactly
+     the oracle state. *)
+  let flush sys =
+    sys.step_no <- -1;
+    iter_links sys (fun s t ->
+        Queue.transfer sys.held.(s).(t) sys.links.(s).(t));
+    Array.iteri
+      (fun r d -> if D.down d then exec_step sys (Schedule.Recover r))
+      sys.drv;
+    let converged () =
+      Array.for_all (fun d -> C.equal (D.state d) sys.oracle) sys.drv
+    in
+    let drain () =
+      let budget = ref sys.cfg.max_steps in
+      let again = ref true in
+      while !again do
+        again := false;
+        iter_links sys (fun s t ->
+            while not (Queue.is_empty sys.links.(s).(t)) do
+              if !budget <= 0 then
+                fail sys "convergence"
+                  "drain did not quiesce within %d deliveries" sys.cfg.max_steps;
+              decr budget;
+              again := true;
+              deliver_checked sys ~src:s ~dst:t
+                (Queue.pop sys.links.(s).(t))
+            done)
+      done
+    in
+    let rounds = ref 0 in
+    drain ();
+    while (not (converged ())) && !rounds < sys.cfg.flush_rounds do
+      incr rounds;
+      Array.iteri (fun r _ -> exec_step sys (Schedule.Tick r)) sys.drv;
+      drain ()
+    done;
+    if not (converged ()) then begin
+      let w r = C.weight (D.state sys.drv.(r)) in
+      let states =
+        String.concat ", "
+          (List.init sys.cfg.replicas (fun r ->
+               Printf.sprintf "r%d:w%d" r (w r)))
+      in
+      let pairwise_equal =
+        let x0 = D.state sys.drv.(0) in
+        Array.for_all (fun d -> C.equal (D.state d) x0) sys.drv
+      in
+      if pairwise_equal then
+        fail sys "data-loss"
+          "replicas agree below the oracle after %d flush rounds (%s, oracle \
+           w%d)"
+          sys.cfg.flush_rounds states (C.weight sys.oracle)
+      else
+        fail sys "convergence"
+          "replicas still diverge after %d flush rounds (%s, oracle w%d)"
+          sys.cfg.flush_rounds states (C.weight sys.oracle)
+    end
+
+  let run cfg ~ops sched =
+    let sys = make_sys cfg ops in
+    try
+      List.iteri
+        (fun i step ->
+          sys.step_no <- i;
+          exec_step sys step)
+        sched;
+      flush sys;
+      None
+    with Violation v -> Some v
+
+  (* ---- exhaustive tier: round plans -------------------------------- *)
+
+  type fate = Fdeliver | Fduplicate | Fdrop | Fdelay
+
+  let fate_alphabet () =
+    let caps = P.capabilities in
+    [ Fdeliver; Fduplicate ]
+    @ (if caps.tolerates_drop then [ Fdrop ] else [])
+    @ if caps.tolerates_delay then [ Fdelay ] else []
+
+  let fate_step fate (s, t) : Schedule.step =
+    match fate with
+    | Fdeliver -> Deliver (s, t)
+    | Fduplicate -> Duplicate (s, t)
+    | Fdrop -> Drop (s, t)
+    | Fdelay -> Delay (s, t)
+
+  (* Execute one round plan from scratch, recording the per-message step
+     list actually performed (queue contents at fate time depend on the
+     protocol's chatter, so the schedule can only be concretized by
+     running it).  [fates (round, link_index)] names the fate of every
+     message queued on that link in that round. *)
+  let run_plan cfg ~ops ~rounds ~links ~fates ~crash_plan =
+    let sys = make_sys cfg ops in
+    let rev_sched = ref [] in
+    let exec step =
+      rev_sched := step :: !rev_sched;
+      sys.step_no <- List.length !rev_sched - 1;
+      exec_step sys step
+    in
+    let sched () = List.rev !rev_sched in
+    try
+      for round = 0 to rounds - 1 do
+        (match crash_plan with
+        | Some (victim, down_at, up_at) ->
+            if round = down_at then exec (Schedule.Crash victim);
+            if round = up_at then exec (Schedule.Recover victim)
+        | None -> ());
+        (* spread the op script over the rounds (several per round when
+           the script is longer than the schedule) so late script
+           entries — e.g. the orset removes at index ≥ 3 — still run
+           before the fault rounds end *)
+        let per_round = (cfg.script_len + rounds - 1) / rounds in
+        for r = 0 to cfg.replicas - 1 do
+          for _ = 1 to per_round do
+            if sys.ops_done.(r) < cfg.script_len then exec (Schedule.Op r)
+          done
+        done;
+        for r = 0 to cfg.replicas - 1 do
+          exec (Schedule.Tick r)
+        done;
+        List.iteri
+          (fun li (s, t) ->
+            (* messages delayed in an earlier round arrive now, behind
+               whatever this round queued *)
+            while not (Queue.is_empty sys.held.(s).(t)) do
+              exec (Schedule.Release (s, t))
+            done;
+            let fate = fates (round, li) in
+            while not (Queue.is_empty sys.links.(s).(t)) do
+              exec (fate_step fate (s, t))
+            done)
+          links
+      done;
+      flush sys;
+      None
+    with Violation v -> Some (sched (), v)
+
+  let exhaustive cfg ~ops ~rounds ~max_faults =
+    let links =
+      List.concat
+        (List.init cfg.replicas (fun s ->
+             List.filter_map
+               (fun t -> if s <> t then Some (s, t) else None)
+               (List.init cfg.replicas Fun.id)))
+    in
+    let alphabet = fate_alphabet () in
+    let slots = rounds * List.length links in
+    let crash_plans =
+      if not P.capabilities.tolerates_crash then [ None ]
+      else
+        (* recovery at round [rounds] means "only at flush" *)
+        None
+        :: List.concat
+             (List.init cfg.replicas (fun v ->
+                  List.concat
+                    (List.init rounds (fun down_at ->
+                         List.filter_map
+                           (fun up_at ->
+                             if up_at > down_at then
+                               Some (Some (v, down_at, up_at))
+                             else None)
+                           (List.init (rounds + 1) Fun.id)))))
+    in
+    let explored = ref 0 in
+    let failure = ref None in
+    (* depth-first over fate assignments, pruned by the fault budget *)
+    let rec assign slot faults_left plan =
+      if !failure <> None then ()
+      else if slot = slots then begin
+        let fates_arr = Array.of_list (List.rev plan) in
+        let fates (round, li) = fates_arr.(round * List.length links + li) in
+        List.iter
+          (fun crash_plan ->
+            if !failure = None then begin
+              incr explored;
+              match run_plan cfg ~ops ~rounds ~links ~fates ~crash_plan with
+              | Some f -> failure := Some f
+              | None -> ()
+            end)
+          crash_plans
+      end
+      else
+        List.iter
+          (fun fate ->
+            let cost = if fate = Fdeliver then 0 else 1 in
+            if faults_left >= cost then
+              assign (slot + 1) (faults_left - cost) (fate :: plan))
+          alphabet
+    in
+    assign 0 max_faults [];
+    { explored = !explored; failure = !failure }
+
+  (* ---- random tier: seeded atomic-step walks ----------------------- *)
+
+  let random cfg ~ops ~seed ~walks ~walk_len =
+    let caps = P.capabilities in
+    let explored = ref 0 in
+    let failure = ref None in
+    let w = ref 0 in
+    while !failure = None && !w < walks do
+      let rng = Random.State.make [| seed; !w |] in
+      let sys = make_sys cfg ops in
+      let rev_sched = ref [] in
+      let crashes = ref 0 in
+      (try
+         for _ = 1 to walk_len do
+           (* enabled steps, weighted towards making progress *)
+           let candidates = ref [] in
+           let add weight step =
+             for _ = 1 to weight do
+               candidates := step :: !candidates
+             done
+           in
+           for r = 0 to cfg.replicas - 1 do
+             let d = sys.drv.(r) in
+             if D.down d then begin
+               add 4 (Schedule.Recover r)
+             end
+             else begin
+               add 2 (Schedule.Tick r);
+               if sys.ops_done.(r) < cfg.script_len then add 3 (Schedule.Op r);
+               if caps.tolerates_crash && !crashes < 2 then
+                 add 1 (Schedule.Crash r)
+             end
+           done;
+           iter_links sys (fun s t ->
+               if not (Queue.is_empty sys.links.(s).(t)) then begin
+                 add 5 (Schedule.Deliver (s, t));
+                 add 1 (Schedule.Duplicate (s, t));
+                 if caps.tolerates_drop then add 1 (Schedule.Drop (s, t));
+                 if caps.tolerates_delay then add 1 (Schedule.Delay (s, t))
+               end;
+               if not (Queue.is_empty sys.held.(s).(t)) then
+                 add 2 (Schedule.Release (s, t)));
+           match !candidates with
+           | [] -> ()
+           | cs ->
+               let arr = Array.of_list cs in
+               let step = arr.(Random.State.int rng (Array.length arr)) in
+               (match step with Schedule.Crash _ -> incr crashes | _ -> ());
+               rev_sched := step :: !rev_sched;
+               sys.step_no <- List.length !rev_sched - 1;
+               exec_step sys step
+         done;
+         flush sys;
+         incr explored
+       with Violation v ->
+         incr explored;
+         failure := Some (List.rev !rev_sched, v));
+      incr w
+    done;
+    { explored = !explored; failure = !failure }
+
+  (* ---- shrinking --------------------------------------------------- *)
+
+  let reproduces cfg ~ops ~invariant sched =
+    match run cfg ~ops sched with
+    | Some v -> v.invariant = invariant
+    | None -> false
+
+  let drop_slice l ~at ~len =
+    List.filteri (fun i _ -> i < at || i >= at + len) l
+
+  let shrink cfg ~ops sched violation =
+    let invariant = violation.invariant in
+    let repro = reproduces cfg ~ops ~invariant in
+    (* chunk pass: try removing halves, quarters, ... to cut the common
+       case fast before the O(n²) single-step fixpoint *)
+    let rec chunk_pass sched len =
+      if len < 1 then sched
+      else begin
+        let n = List.length sched in
+        let rec scan at sched =
+          if at >= List.length sched then sched
+          else
+            let candidate = drop_slice sched ~at ~len in
+            if repro candidate then scan at candidate
+            else scan (at + len) sched
+        in
+        let sched = scan 0 sched in
+        let next = if List.length sched < n then len else len / 2 in
+        chunk_pass sched next
+      end
+    in
+    let rec single_fixpoint sched =
+      let rec scan at sched removed =
+        if at >= List.length sched then (sched, removed)
+        else
+          let candidate = drop_slice sched ~at ~len:1 in
+          if repro candidate then scan at candidate true
+          else scan (at + 1) sched removed
+      in
+      let sched, removed = scan 0 sched false in
+      if removed then single_fixpoint sched else sched
+    in
+    if not (repro sched) then sched
+    else single_fixpoint (chunk_pass sched (List.length sched / 2))
+end

@@ -1,0 +1,102 @@
+(** Mechanized SEC checking of one protocol × CRDT cell.
+
+    The checker runs a small replica group (2–3 nodes, full mesh) of one
+    protocol instance against adversarial schedules ({!Schedule.t}) and
+    asserts the strong-eventual-consistency contract at every step:
+
+    - {b monotonicity}: a replica's CRDT state only ever inflates
+      ([leq before after] across every operation, delivery and recovery);
+    - {b phantom-state}: no replica ever holds state outside the oracle —
+      the running join of every locally applied operation's effect
+      ([leq state oracle] after every step), so protocols cannot invent
+      irreducibles;
+    - {b redelivery}: delivering the same message twice back-to-back
+      leaves the CRDT state unchanged (duplication is a mandatory
+      tolerance of every protocol);
+    - {b durability}: [P.crash] preserves the durable CRDT state exactly;
+    - {b convergence}: once the schedule ends, held messages are
+      released, crashed replicas recover, and a bounded number of
+      fault-free flush rounds must bring {e every} replica to a state
+      equal to the oracle.  Failure splits into ["convergence"] (replicas
+      still disagree pairwise) and ["data-loss"] (replicas agree on a
+      state strictly below the oracle — an operation's effect vanished).
+
+    Two exploration tiers share those invariants: {!Make.exhaustive}
+    enumerates {e every} round-structured schedule in a small scope (per
+    round and per link, all messages get one fate out of
+    deliver / duplicate / drop / delay, bounded by a fault budget, crossed
+    with every crash–recover window), and {!Make.random} walks seeded
+    random interleavings at atomic-step granularity for larger scopes.
+    Fault fates are gated by the protocol's declared capabilities, so a
+    protocol is only attacked with faults it claims to tolerate.
+
+    A violation comes with the exact schedule that produced it;
+    {!Make.shrink} reduces it to a locally minimal counterexample
+    (removing any single remaining step makes the violation disappear)
+    whose {!Schedule.to_string} form replays from the CLI
+    ([crdtsync check --replay]). *)
+
+type config = {
+  replicas : int;  (** group size (full mesh); 2 for exhaustive scope. *)
+  script_len : int;  (** scripted operations per replica. *)
+  flush_rounds : int;
+      (** fault-free rounds allowed for post-schedule convergence. *)
+  max_steps : int;  (** safety cap on message-drain loops. *)
+}
+
+val default_config : config
+(** 2 replicas, 4 ops each (enough to reach the registry orset workload's
+    remove at script index 3), 48 flush rounds, 100_000-step drain cap. *)
+
+type violation = {
+  invariant : string;
+      (** ["monotonicity"] | ["phantom-state"] | ["redelivery"] |
+          ["durability"] | ["convergence"] | ["data-loss"]. *)
+  detail : string;
+  at_step : int;  (** schedule index, or -1 when found during flush. *)
+}
+
+type outcome = {
+  explored : int;  (** schedules fully executed. *)
+  failure : (Schedule.t * violation) option;
+      (** first violating schedule, un-shrunk. *)
+}
+
+module Make (C : Crdt_core.Lattice_intf.CRDT) (_ : sig
+  include
+    Crdt_proto.Protocol_intf.PROTOCOL with type crdt = C.t and type op = C.op
+end) : sig
+  type ops = node:int -> index:int -> C.t -> C.op list
+  (** The bounded op script: [ops ~node ~index state] is what replica
+      [node] applies as its [index]-th scripted operation (it may read
+      the replica's current state — the schedule fixes {e when} it runs,
+      so replay stays deterministic). *)
+
+  val run : config -> ops:ops -> Schedule.t -> violation option
+  (** Execute one schedule from a fresh replica group (skipping disabled
+      steps), then flush; [None] means every invariant held. *)
+
+  val exhaustive :
+    config -> ops:ops -> rounds:int -> max_faults:int -> outcome
+  (** Enumerate every round-structured schedule of [rounds] rounds:
+      all assignments of one fate per (link, round) slot with at most
+      [max_faults] non-deliver fates, crossed with every crash–recover
+      window when the protocol tolerates crashes.  Stops at the first
+      violation. *)
+
+  val random :
+    config ->
+    ops:ops ->
+    seed:int ->
+    walks:int ->
+    walk_len:int ->
+    outcome
+  (** [walks] seeded random walks of [walk_len] atomic steps each,
+      deliver-biased, faults gated by capabilities.  Walk [w] derives its
+      PRNG from [(seed, w)], so any failure names a reproducible walk. *)
+
+  val shrink : config -> ops:ops -> Schedule.t -> violation -> Schedule.t
+  (** Greedy chunk-then-single-step removal while a violation of the
+      same invariant class reproduces; the result is locally minimal
+      (removing any one step no longer reproduces it). *)
+end

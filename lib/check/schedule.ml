@@ -1,0 +1,49 @@
+(* Replayable checker schedules; see schedule.mli. *)
+
+type step =
+  | Op of int
+  | Tick of int
+  | Deliver of int * int
+  | Duplicate of int * int
+  | Drop of int * int
+  | Delay of int * int
+  | Release of int * int
+  | Crash of int
+  | Recover of int
+
+type t = step list
+
+let step_to_string = function
+  | Op r -> Printf.sprintf "op:%d" r
+  | Tick r -> Printf.sprintf "tick:%d" r
+  | Deliver (s, d) -> Printf.sprintf "dlv:%d:%d" s d
+  | Duplicate (s, d) -> Printf.sprintf "dup:%d:%d" s d
+  | Drop (s, d) -> Printf.sprintf "drop:%d:%d" s d
+  | Delay (s, d) -> Printf.sprintf "dly:%d:%d" s d
+  | Release (s, d) -> Printf.sprintf "rel:%d:%d" s d
+  | Crash r -> Printf.sprintf "crash:%d" r
+  | Recover r -> Printf.sprintf "rec:%d" r
+
+let pp_step ppf s = Format.pp_print_string ppf (step_to_string s)
+let to_string t = String.concat "," (List.map step_to_string t)
+
+let step_of_string tok =
+  let bad () = invalid_arg (Printf.sprintf "bad schedule token %S" tok) in
+  let int s = match int_of_string_opt s with Some i -> i | None -> bad () in
+  match String.split_on_char ':' tok with
+  | [ "op"; r ] -> Op (int r)
+  | [ "tick"; r ] -> Tick (int r)
+  | [ "dlv"; s; d ] -> Deliver (int s, int d)
+  | [ "dup"; s; d ] -> Duplicate (int s, int d)
+  | [ "drop"; s; d ] -> Drop (int s, int d)
+  | [ "dly"; s; d ] -> Delay (int s, int d)
+  | [ "rel"; s; d ] -> Release (int s, int d)
+  | [ "crash"; r ] -> Crash (int r)
+  | [ "rec"; r ] -> Recover (int r)
+  | _ -> bad ()
+
+let of_string s =
+  String.split_on_char ',' s
+  |> List.filter_map (fun tok ->
+         let tok = String.trim tok in
+         if tok = "" then None else Some (step_of_string tok))

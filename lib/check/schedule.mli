@@ -1,0 +1,44 @@
+(** Replayable schedules for the SEC model checker.
+
+    A schedule is the complete adversary: a finite list of atomic steps
+    the checker executes against a fresh replica group.  Everything a
+    run does — which replica applies its next scripted operation, who
+    ticks, which in-flight message is delivered, duplicated, dropped,
+    held or released, who crashes and who recovers — is one {!step}, so
+    a violation is reproduced exactly by replaying its step list (and
+    shrunk by deleting steps from it).
+
+    Steps that are not enabled at replay time (delivering on an empty
+    link, crashing a node that is already down, …) are {e skipped}, not
+    errors: the shrinker deletes steps one at a time, which routinely
+    strands later steps, and skip-if-disabled keeps every sub-list of a
+    valid schedule a valid schedule. *)
+
+type step =
+  | Op of int  (** replica applies the next operation of its script. *)
+  | Tick of int  (** replica runs one synchronization step. *)
+  | Deliver of int * int  (** deliver the head of link (src, dst). *)
+  | Duplicate of int * int
+      (** deliver the head of link (src, dst) twice back-to-back — the
+          idempotent-redelivery probe. *)
+  | Drop of int * int  (** discard the head of link (src, dst). *)
+  | Delay of int * int
+      (** move the head of link (src, dst) into the link's hold buffer. *)
+  | Release of int * int
+      (** re-queue the oldest held message of link (src, dst) at the
+          {e back} of the queue — delayed messages arrive late and out
+          of order. *)
+  | Crash of int
+  | Recover of int
+
+val pp_step : Format.formatter -> step -> unit
+
+type t = step list
+
+val to_string : t -> string
+(** Compact comma-separated encoding, e.g.
+    ["op:0,tick:0,dlv:0:1,dup:1:0,crash:0,rec:0"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}.
+    @raise Invalid_argument on malformed input, naming the bad token. *)

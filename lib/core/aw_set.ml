@@ -104,6 +104,8 @@ end = struct
           (fun d k -> join d (singleton k dead))
           bottom (killed_dots e m)
 
+  let prepare op _ _ = op
+
   let op_weight = function Add _ | Remove _ -> 1
   let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
 

@@ -108,6 +108,8 @@ let delta_mutate op i x =
         ( Rights.singleton (i', j) (Rights.find (i', j) rights + amount),
           Consumed.bottom )
 
+let prepare op _ _ = op
+
 let op_weight = function Inc _ | Dec _ | Transfer _ -> 1
 let op_byte_size = function
   | Inc _ | Dec _ -> 8

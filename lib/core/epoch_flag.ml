@@ -22,6 +22,8 @@ let delta_mutate op i x =
   let next = mutate op i x in
   if equal next x then bottom else next
 
+let prepare op _ _ = op
+
 let op_weight _ = 1
 let op_byte_size _ = 9
 

@@ -30,6 +30,8 @@ let delta_mutate op i p =
       let updated, _ = apply_inc n i p in
       singleton i updated
 
+let prepare op _ _ = op
+
 let op_weight (Inc _) = 1
 let op_byte_size (Inc _) = 8
 

@@ -35,6 +35,8 @@ end = struct
   let delta_mutate (Apply (k, vop)) i m =
     singleton k (V.delta_mutate vop i (find k m))
 
+  let prepare (Apply (k, vop)) i m = Apply (k, V.prepare vop i (find k m))
+
   let op_weight (Apply (_, vop)) = V.op_weight vop
   let op_byte_size (Apply (k, vop)) = K.byte_size k + V.op_byte_size vop
 

@@ -30,6 +30,7 @@ end = struct
 
   let mutate e _i s = P.add e s
   let delta_mutate e _i s = if P.mem e s then P.bottom else P.singleton e
+  let prepare e _ _ = e
   let op_weight _ = 1
   let op_byte_size = E.byte_size
   let op_codec = E.codec

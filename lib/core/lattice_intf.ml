@@ -123,6 +123,18 @@ module type CRDT = sig
       equals [mutate op i x].  Returns {!LATTICE.bottom} when the operation
       has no effect. *)
 
+  val prepare : op -> Replica_id.t -> t -> op
+  (** Prepare-update phase of operation-based replication: rewrite the
+      operation at the origin, reading the origin's current state, into
+      the downstream form that is shipped and replayed remotely.  Law:
+      [mutate (prepare op i x) i x = mutate op i x] (preparing never
+      changes the local effect).  The prepared form must be replay-safe —
+      replaying it against any causally consistent remote state yields
+      the origin's effect, so the system converges to the join of the
+      origins' effects (e.g. the state-dependent [Version.Bump] prepares
+      into [Version.Raise_to]).  Identity for operations that are already
+      replay-safe. *)
+
   val op_weight : op -> int
   (** Number of lattice elements an operation carries on the wire when
       shipped by operation-based synchronization (usually 1). *)

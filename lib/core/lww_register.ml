@@ -18,6 +18,8 @@ let delta_mutate op i x =
   (* ⇓⟨t+1, s⟩ = {⟨t+1, s⟩} and it never sits below ⟨t, v⟩. *)
   mutate op i x
 
+let prepare op _ _ = op
+
 let op_weight (Write _) = 1
 let op_byte_size (Write s) = 8 + String.length s
 

@@ -93,6 +93,8 @@ let mutate (Write s) i reg =
 let delta_mutate (Write s) i reg =
   of_list [ { Tagged.vv = next_vector i reg; value = s } ]
 
+let prepare op _ _ = op
+
 let op_weight (Write _) = 1
 let op_byte_size (Write s) = String.length s
 

@@ -32,6 +32,8 @@ let delta_mutate op i p =
       if n < 1 then invalid_arg "Pncounter.dec: decrement must be >= 1";
       singleton i (0, decs + n)
 
+let prepare op _ _ = op
+
 let op_weight = function Inc _ | Dec _ -> 1
 let op_byte_size = function Inc _ | Dec _ -> 8
 

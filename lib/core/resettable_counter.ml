@@ -30,6 +30,8 @@ let delta_mutate op i ((epoch, p) : t) : t =
   | Inc n -> (epoch, Gcounter.delta_mutate (Gcounter.Inc n) i p)
   | Reset -> (epoch + 1, Gcounter.bottom)
 
+let prepare op _ _ = op
+
 let op_weight = function Inc _ | Reset -> 1
 let op_byte_size = function Inc _ -> 8 | Reset -> 1
 

@@ -38,6 +38,8 @@ end = struct
     | Remove e ->
         if P.mem e removed then bottom else (P.bottom, P.singleton e)
 
+  let prepare op _ _ = op
+
   let op_weight _ = 1
   let op_byte_size = function Add e | Remove e -> 1 + E.byte_size e
 

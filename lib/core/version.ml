@@ -19,6 +19,13 @@ let delta_mutate op i v =
   let next = mutate op i v in
   if next = v then bottom else next
 
+(* [Bump] reads the local version, so replaying it remotely would advance
+   whatever version the remote holds instead of reproducing the origin's
+   effect (two concurrent bumps of v would converge to v+2 instead of
+   v+1).  Its downstream form pins the origin's result. *)
+let prepare op i v =
+  match op with Bump -> Raise_to (mutate op i v) | Raise_to _ -> op
+
 let op_weight _ = 1
 let op_byte_size _ = 8
 

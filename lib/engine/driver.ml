@@ -110,6 +110,27 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     t.sink.recover ~node:t.id ~round
 
   let finish t ~round = t.sink.finish ~node:t.id ~round
+
+  type snapshot = {
+    s_node : P.node;
+    s_down : bool;
+    s_dirty : bool;
+    s_ops_applied : int;
+  }
+
+  let snapshot t =
+    {
+      s_node = t.node;
+      s_down = t.down;
+      s_dirty = t.dirty;
+      s_ops_applied = t.ops_applied;
+    }
+
+  let restore t s =
+    t.node <- s.s_node;
+    t.down <- s.s_down;
+    t.dirty <- s.s_dirty;
+    t.ops_applied <- s.s_ops_applied
   let work t = P.work t.node
   let memory_weight t = P.memory_weight t.node
   let memory_bytes t = P.memory_bytes t.node

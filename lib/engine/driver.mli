@@ -78,6 +78,21 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) : sig
   val finish : t -> round:int -> unit
   (** Report a [Done] event (the replica converged / agreed to stop). *)
 
+  type snapshot
+  (** An immutable image of the replica's full state (protocol node,
+      up/down flag, dirty flag, operation count).  [P.node] values are
+      persistent, so a snapshot is a constant-size record copy. *)
+
+  val snapshot : t -> snapshot
+
+  val restore : t -> snapshot -> unit
+  (** Rewind the replica to a previous {!snapshot}.  Together with
+      {!snapshot} this is the seam deterministic single-step schedulers
+      (the model checker in [lib/check]) use to branch an execution:
+      snapshot, explore one continuation, restore, explore the next.
+      Trace events already reported are {e not} retracted — exploration
+      sinks must expect replayed prefixes or use {!Trace.null}. *)
+
   val work : t -> int
   val memory_weight : t -> int
   val memory_bytes : t -> int

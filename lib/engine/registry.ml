@@ -192,31 +192,26 @@ let crdts : crdt_spec list =
 
       let name = "orset"
       let doc = "add-wins OR-Set; unique adds plus observed removes"
+      let excluded _ = None
 
-      let excluded = function
-        | "op-based" ->
-            Some
-              "Remove reads the local state, which op-based replay cannot \
-               reproduce"
-        | _ -> None
-
-      (* Unique adds plus an observed-remove every third round at node 0
-         (the remove depends on the local state, which is why op-based is
-         excluded). *)
-      let micro_ops ~nodes:_ ~k:_ ~round ~node state =
+      (* Unique adds plus an observed remove every third round at node 0,
+         targeting node 0's OWN element from three rounds earlier.  The
+         target is a function of (round, node) alone — never of the
+         replica's delivered state — so every protocol (op-based
+         included) performs the same operation sequence: the removed
+         element carries exactly one dot, minted by the removing replica
+         itself three rounds before, so replaying the remove at any
+         causally consistent replica kills exactly that dot. *)
+      let micro_ops ~nodes:_ ~k:_ ~round ~node _state =
         let add = Aw_set.Of_int.Add ((round * 1_000_003) + node) in
-        if round mod 3 = 0 && node = 0 then
-          match Aw_set.Of_int.value state with
-          | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
-          | [] -> [ add ]
+        if round mod 3 = 0 && node = 0 && round >= 3 then
+          [ add; Aw_set.Of_int.Remove (((round - 3) * 1_000_003) + node) ]
         else [ add ]
 
-      let serve_ops ~id ~tick state =
+      let serve_ops ~id ~tick _state =
         let add = Aw_set.Of_int.Add ((id * 1_000_000) + tick) in
-        if tick mod 3 = 0 && id = 0 then
-          match Aw_set.Of_int.value state with
-          | v :: _ -> [ add; Aw_set.Of_int.Remove v ]
-          | [] -> [ add ]
+        if tick mod 3 = 0 && id = 0 && tick >= 3 then
+          [ add; Aw_set.Of_int.Remove ((id * 1_000_000) + (tick - 3)) ]
         else [ add ]
     end);
   ]

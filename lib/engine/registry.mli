@@ -12,7 +12,10 @@
     a protocol instance only exists for a concrete lattice.  CRDTs are
     packed modules with their registry metadata: the Table I micro
     workload, the deterministic serve workload, and per-protocol
-    exclusions (e.g. the OR-Set observed-remove cannot run op-based). *)
+    exclusions for cells that are not meaningful.  Workloads are
+    deterministic functions of (round, node) — they never read the
+    replica's delivered state — so every protocol, op-based replay
+    included, performs the same operation sequence. *)
 
 (** A named protocol constructor. *)
 module type PROTO_MAKER = sig

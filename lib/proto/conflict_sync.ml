@@ -45,9 +45,16 @@
       with its own filter plus every irreducible of its snapshot whose
       key the filter rejects, and A closes with [Serve] of the
       symmetric complement.  Bloom false positives (rate [fpr]) can
-      leave a residue of elements neither side shipped — the next quiet
-      digest mismatch starts a fresh session whose difference is just
-      that residue, which the IBLT path then resolves exactly.
+      leave a residue of elements neither side shipped, so both sides
+      remember the escalation ([escalated]): the next digest mismatch
+      with that peer forces a follow-up session {e immediately} —
+      bypassing the quiet-link and streak gates, which an ongoing
+      workload would otherwise suppress forever (delta traffic keeps
+      the link non-quiet, and BP groups never re-carry old elements).
+      The follow-up's difference is just the residue, which the IBLT
+      path resolves exactly.  Filters are salted with the session id so
+      a repeat Bloom round (huge residue) re-rolls its false positives
+      instead of deterministically reproducing them.
 
     Sessions are volatile: they idle out after [session_timeout] ticks
     without progress (lost legs, crashed peers) and the digest mismatch
@@ -117,6 +124,11 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
 
   let key_of y = Hash.of_value C.codec y
 
+  (* Bloom keys are salted with the session id: a repeat escalation over
+     the same snapshots must re-roll its false positives, or the same
+     residue would survive every round (the hashes are deterministic). *)
+  let salt sid k = Hash.combine sid k
+
   (* Initiator-side session: waiting for cells (then for Serve). *)
   type isession = {
     i_sid : int;
@@ -147,6 +159,10 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     streak : int Imap.t;  (** peer ↦ consecutive quiet digest mismatches. *)
     last_traffic : int Imap.t;  (** peer ↦ last tick a δ-group flowed. *)
     resync : Iset.t;  (** peers to force-sync with after a restart. *)
+    escalated : Iset.t;
+        (** peers whose last session took the (lossy) Bloom road: the
+            next digest mismatch forces a follow-up session without
+            waiting for a quiet-link streak. *)
     init_s : isession Imap.t;  (** peer ↦ session we initiated. *)
     resp_s : rsession Imap.t;  (** peer ↦ session we respond to. *)
     dcache : (C.t * int) option;  (** state digest memo, keyed by ==. *)
@@ -208,6 +224,7 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       streak = Imap.empty;
       last_traffic = Imap.empty;
       resync = Iset.empty;
+      escalated = Iset.empty;
       init_s = Imap.empty;
       resp_s = Imap.empty;
       dcache = None;
@@ -224,6 +241,7 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       streak = Imap.empty;
       last_traffic = Imap.empty;
       resync = Iset.empty;
+      escalated = Iset.empty;
       init_s = Imap.empty;
       resp_s = Imap.empty;
       dcache = None;
@@ -424,7 +442,9 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
         let s = { s with i_diff = diff; i_last = n.now } in
         let n = { n with init_s = Imap.add src s n.init_s } in
         if hi >= Cfg.escalate_cells then
-          let filter = Bloom.of_keys ~fpr:Cfg.fpr s.i_keys in
+          let filter =
+            Bloom.of_keys ~fpr:Cfg.fpr (List.map (salt s.i_sid) s.i_keys)
+          in
           (n, [ (src, BloomReq { sid = s.i_sid; filter }) ])
         else (n, [ (src, More { sid = s.i_sid; hi }) ])
 
@@ -454,8 +474,20 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
               n with
               streak = Imap.remove src n.streak;
               resync = Iset.remove src n.resync;
+              escalated = Iset.remove src n.escalated;
             },
             [] )
+        else if Iset.mem src n.escalated && not (session_with n src) then
+          (* Post-escalation follow-up: the last session with this peer
+             took the lossy Bloom road, so a persisting mismatch is
+             (likely) its false-positive residue.  Initiate right away —
+             the quiet-link and streak gates would starve this repair
+             forever under an ongoing workload, and the id-order gate
+             does not apply because only the session's two ends know an
+             escalation happened. *)
+          let n = { n with escalated = Iset.remove src n.escalated } in
+          let n, req = initiate n src in
+          (n, [ req ])
         else
           let quiet =
             match Imap.find_opt src n.last_traffic with
@@ -503,18 +535,25 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
         match Imap.find_opt src n.resp_s with
         | Some s when s.r_sid = sid ->
             (* Everything of ours the filter rejects is definitely
-               missing at A; our own filter lets A answer in kind. *)
+               missing at A; our own filter lets A answer in kind.  The
+               round is lossy (false positives), so remember it: the
+               next digest mismatch with A must force a follow-up. *)
             let missing =
               C.fold_decompose
-                (fun y acc -> if Bloom.mem filter (key_of y) then acc else y :: acc)
+                (fun y acc ->
+                  if Bloom.mem filter (salt sid (key_of y)) then acc
+                  else y :: acc)
                 s.r_snap []
             in
-            let mine = Bloom.of_keys ~fpr:Cfg.fpr s.r_keys in
+            let mine =
+              Bloom.of_keys ~fpr:Cfg.fpr (List.map (salt sid) s.r_keys)
+            in
             let s = { s with r_last = n.now } in
             let n =
               {
                 n with
                 resp_s = Imap.add src s n.resp_s;
+                escalated = Iset.add src n.escalated;
                 work = n.work + List.length s.r_keys;
               }
             in
@@ -530,10 +569,14 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
             let push =
               List.filter_map
                 (fun k ->
-                  if Bloom.mem filter k then None else Hashtbl.find_opt s.i_table k)
+                  if Bloom.mem filter (salt sid k) then None
+                  else Hashtbl.find_opt s.i_table k)
                 s.i_keys
             in
+            (* closing a Bloom-escalated session: possible FP residue on
+               both sides, so arm the follow-up trigger *)
             let n = close_initiator n src in
+            let n = { n with escalated = Iset.add src n.escalated } in
             (n, [ (src, mk_serve sid push) ])
         | _ -> (n, []))
     | Decoded { sid; need; elements; weight; _ } -> (
@@ -654,7 +697,10 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
         n.init_s 0
       + Imap.fold (fun _ s acc -> acc + (8 * Hashtbl.length s.r_table)) n.resp_s 0
     in
-    (8 * (Imap.cardinal n.streak + Imap.cardinal n.last_traffic)) + sessions
+    8
+    * (Imap.cardinal n.streak + Imap.cardinal n.last_traffic
+      + Iset.cardinal n.escalated)
+    + sessions
 
   let work n = n.work
 end

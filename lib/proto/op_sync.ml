@@ -119,6 +119,9 @@ module Make (C : Protocol_intf.CRDT) :
       drain n
 
   let local_update n op =
+    (* prepare-update phase: ship the downstream form, whose replay at a
+       causally consistent remote reproduces this replica's effect *)
+    let op = C.prepare op (Crdt_core.Replica_id.of_int n.self) n.x in
     let seq = Vclock.get n.self n.clock + 1 in
     let tag = Vclock.set n.self seq n.clock in
     let t = { origin = n.self; seq; tag; operation = op } in

@@ -43,35 +43,69 @@ end = struct
 
   type op = K.t * C.op
 
+  module Iset = Set.Make (Int)
+
   type node = {
     id : int;
     neighbors : int list;
     total : int;
     objects : P.node Km.t;
+    manifest_from : Iset.t;
+        (** Neighbors still owed a key manifest after a restart
+            (volatile; the request is retried every tick until their
+            [Manifest] arrives). *)
   }
 
-  type message = (K.t * P.message) list
+  type message =
+    | Batch of (K.t * P.message) list
+        (** Per-object payloads bundled per destination. *)
+    | ManifestReq  (** Restarted node asking which objects exist. *)
+    | Manifest of K.t list  (** Every key the sender has an instance for. *)
 
   let protocol_name = "sharded-" ^ P.protocol_name
 
   (* Per-message faults (drop, partition cuts, delay) are exactly as
-     tolerable as in the per-object protocol.  Crash–restart is not:
-     object instances are created lazily on first use, so a restarted
-     node cannot run the per-object recovery exchange for keys other
-     nodes created while it was down — it does not know they exist — and
-     delta-based protocols never re-advertise old irreducibles for them.
-     Until the combinator gains a key-digest exchange, it conservatively
-     declines crash plans rather than risk silent divergence. *)
-  let capabilities = { P.capabilities with Protocol_intf.tolerates_crash = false }
-  let crash n = { n with objects = Km.map P.crash n.objects }
-  let recover n = { n with objects = Km.map P.recover n.objects }
+     tolerable as in the per-object protocol.  Crash–restart needs one
+     extra exchange beyond the per-object recovery: object instances are
+     created lazily on first use, so a restarted node would never run
+     the per-object recovery for keys other nodes created while it was
+     down — it does not know they exist, and delta-based protocols never
+     re-advertise old irreducibles for them.  [recover] therefore asks
+     every neighbor for its key manifest ([ManifestReq], retried per
+     tick until answered); unknown keys in a [Manifest] get a freshly
+     recovered instance whose own recovery exchange then pulls the
+     object's state.  Keys only the restarted node holds need nothing
+     special: its recovered instances re-sync each object
+     bidirectionally, and peers instantiate unknown keys lazily on the
+     first message.  With that gap closed, crash tolerance is simply
+     inherited from the per-object protocol. *)
+  let capabilities = P.capabilities
 
-  let init ~id ~neighbors ~total = { id; neighbors; total; objects = Km.empty }
+  let crash n =
+    { n with objects = Km.map P.crash n.objects; manifest_from = Iset.empty }
+
+  let recover n =
+    {
+      n with
+      objects = Km.map P.recover n.objects;
+      manifest_from = Iset.of_list n.neighbors;
+    }
+
+  let init ~id ~neighbors ~total =
+    { id; neighbors; total; objects = Km.empty; manifest_from = Iset.empty }
 
   let obj n k =
     match Km.find_opt k n.objects with
     | Some o -> o
-    | None -> P.init ~id:n.id ~neighbors:n.neighbors ~total:n.total
+    | None ->
+        let fresh = P.init ~id:n.id ~neighbors:n.neighbors ~total:n.total in
+        (* While a post-restart manifest exchange is still in flight, a
+           lazily created instance (first local op, or first inbound
+           batch, for a key this node has never seen) may shadow
+           pre-crash state held elsewhere — and if it exists by the time
+           the manifest arrives, the manifest won't touch it.  Arm its
+           per-object recovery at creation instead. *)
+        if Iset.is_empty n.manifest_from then fresh else P.recover fresh
 
   let local_update n (k, op) =
     { n with objects = Km.add k (P.local_update (obj n k) op) n.objects }
@@ -99,20 +133,46 @@ end = struct
           (fun (dest, m) -> outbound := (dest, (k, m)) :: !outbound)
           msgs)
       n.objects;
-    ({ n with objects = !objects }, batch_by_dest (List.rev !outbound))
-
-  let handle n ~src batch =
-    let n, replies =
-      List.fold_left
-        (fun (n, replies) (k, m) ->
-          let o, rs = P.handle (obj n k) ~src m in
-          ( { n with objects = Km.add k o n.objects },
-            List.fold_left
-              (fun replies (dest, r) -> (dest, (k, r)) :: replies)
-              replies rs ))
-        (n, []) batch
+    let batches =
+      batch_by_dest (List.rev !outbound)
+      |> List.map (fun (dest, msgs) -> (dest, Batch msgs))
     in
-    (n, batch_by_dest (List.rev replies))
+    let manifest_reqs =
+      Iset.fold (fun j acc -> (j, ManifestReq) :: acc) n.manifest_from []
+    in
+    ({ n with objects = !objects }, manifest_reqs @ batches)
+
+  let handle n ~src msg =
+    match msg with
+    | ManifestReq -> (n, [ (src, Manifest (List.map fst (Km.bindings n.objects))) ])
+    | Manifest keys ->
+        (* Instantiate (as freshly recovered) every key we have never
+           seen: its per-object recovery exchange pulls the state. *)
+        let objects =
+          List.fold_left
+            (fun objects k ->
+              if Km.mem k objects then objects
+              else
+                Km.add k
+                  (P.recover
+                     (P.init ~id:n.id ~neighbors:n.neighbors ~total:n.total))
+                  objects)
+            n.objects keys
+        in
+        ({ n with objects; manifest_from = Iset.remove src n.manifest_from }, [])
+    | Batch batch ->
+        let n, replies =
+          List.fold_left
+            (fun (n, replies) (k, m) ->
+              let o, rs = P.handle (obj n k) ~src m in
+              ( { n with objects = Km.add k o n.objects },
+                List.fold_left
+                  (fun replies (dest, r) -> (dest, (k, r)) :: replies)
+                  replies rs ))
+            (n, []) batch
+        in
+        (n, batch_by_dest (List.rev replies)
+            |> List.map (fun (dest, msgs) -> (dest, Batch msgs)))
 
   let state n =
     Km.fold
@@ -122,23 +182,47 @@ end = struct
       n.objects []
     |> List.rev
 
-  let payload_weight batch =
-    List.fold_left (fun acc (_, m) -> acc + P.payload_weight m) 0 batch
+  let payload_weight = function
+    | Batch batch ->
+        List.fold_left (fun acc (_, m) -> acc + P.payload_weight m) 0 batch
+    | ManifestReq | Manifest _ -> 0
 
-  let metadata_weight batch =
-    List.fold_left (fun acc (_, m) -> acc + P.metadata_weight m) 0 batch
+  let metadata_weight = function
+    | Batch batch ->
+        List.fold_left (fun acc (_, m) -> acc + P.metadata_weight m) 0 batch
+    | ManifestReq -> 1
+    | Manifest keys -> List.length keys
 
-  let payload_bytes batch =
-    List.fold_left (fun acc (_, m) -> acc + P.payload_bytes m) 0 batch
+  let payload_bytes = function
+    | Batch batch ->
+        List.fold_left (fun acc (_, m) -> acc + P.payload_bytes m) 0 batch
+    | ManifestReq | Manifest _ -> 0
 
   (* Each bundled entry additionally carries its object key. *)
-  let metadata_bytes batch =
-    List.fold_left
-      (fun acc (k, m) -> acc + K.byte_size k + P.metadata_bytes m)
-      0 batch
+  let metadata_bytes = function
+    | Batch batch ->
+        List.fold_left
+          (fun acc (k, m) -> acc + K.byte_size k + P.metadata_bytes m)
+          0 batch
+    | ManifestReq -> 8
+    | Manifest keys ->
+        List.fold_left (fun acc k -> acc + K.byte_size k) 8 keys
 
   let message_codec =
-    Crdt_wire.Codec.list (Crdt_wire.Codec.pair K.codec P.message_codec)
+    let open Crdt_wire.Codec in
+    union ~name:("sharded_" ^ P.protocol_name)
+      [
+        case 0
+          (list (pair K.codec P.message_codec))
+          (function Batch b -> Some b | _ -> None)
+          (fun b -> Batch b);
+        case 1 unit
+          (function ManifestReq -> Some () | _ -> None)
+          (fun () -> ManifestReq);
+        case 2 (list K.codec)
+          (function Manifest ks -> Some ks | _ -> None)
+          (fun ks -> Manifest ks);
+      ]
 
   let message_wire_bytes batch =
     Crdt_wire.Frame.framed_size

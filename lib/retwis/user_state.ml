@@ -54,6 +54,8 @@ let delta_mutate op i ((followers, (wall, timeline)) : t) : t =
           Timeline.apply_delta timestamp (Lww_register.Write tweet_id) i
             timeline ) )
 
+let prepare op _ _ = op
+
 let op_weight = function Follow _ | Post _ | Timeline_add _ -> 1
 
 let op_byte_size = function

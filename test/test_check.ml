@@ -1,0 +1,171 @@
+(* Tests for the SEC model checker: the schedule codec, checker verdicts
+   on a known-good cell and on a deliberately broken protocol, and the
+   shrinker's contract (shrunk counterexamples still violate and are
+   locally minimal). *)
+
+open Crdt_core
+open Crdt_proto
+open Crdt_check
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+module Good = Delta_sync.Make (Gcounter) (Delta_sync.Bp_rr_config)
+
+(* The archetypal data-loss bug: local operations are silently ignored,
+   so every replica agrees on a state strictly below the oracle. *)
+module Lossy = struct
+  include Good
+
+  let protocol_name = "lossy"
+  let local_update n _ = n
+end
+
+module Ck = Checker.Make (Gcounter) (Good)
+module CkL = Checker.Make (Gcounter) (Lossy)
+
+let ops ~node:_ ~index:_ _ = [ Gcounter.Inc 1 ]
+let cfg = { Checker.default_config with replicas = 2; script_len = 2 }
+
+let every_step =
+  Schedule.
+    [
+      Op 0;
+      Tick 1;
+      Deliver (0, 1);
+      Duplicate (1, 0);
+      Drop (0, 1);
+      Delay (1, 0);
+      Release (1, 0);
+      Crash 0;
+      Recover 0;
+    ]
+
+let codec_tests =
+  [
+    Alcotest.test_case "every constructor roundtrips" `Quick (fun () ->
+        let s = Schedule.to_string every_step in
+        check_string "text form" "op:0,tick:1,dlv:0:1,dup:1:0,drop:0:1,dly:1:0,rel:1:0,crash:0,rec:0" s;
+        check "roundtrip" true (Schedule.of_string s = every_step));
+    Alcotest.test_case "empty and whitespace-padded forms" `Quick (fun () ->
+        check "empty" true (Schedule.of_string "" = []);
+        check "padded" true
+          (Schedule.of_string " op:1 , tick:0 " = Schedule.[ Op 1; Tick 0 ]));
+    Alcotest.test_case "malformed tokens are named" `Quick (fun () ->
+        let rejects s =
+          match Schedule.of_string s with
+          | _ -> false
+          | exception Invalid_argument msg ->
+              (* the offending token is quoted in the message. *)
+              String.length msg > 0
+        in
+        check "unknown verb" true (rejects "op:0,frobnicate:1");
+        check "missing arg" true (rejects "dlv:0");
+        check "non-numeric" true (rejects "crash:x"));
+  ]
+
+(* QCheck generator for schedules over a 2-replica group (the checker
+   indexes replica arrays directly, so steps must stay in range). *)
+let step_gen =
+  let open QCheck.Gen in
+  let r = int_range 0 1 in
+  let link = pair r r in
+  oneof
+    [
+      map (fun i -> Schedule.Op i) r;
+      map (fun i -> Schedule.Tick i) r;
+      map (fun (s, d) -> Schedule.Deliver (s, d)) link;
+      map (fun (s, d) -> Schedule.Duplicate (s, d)) link;
+      map (fun (s, d) -> Schedule.Drop (s, d)) link;
+      map (fun (s, d) -> Schedule.Delay (s, d)) link;
+      map (fun (s, d) -> Schedule.Release (s, d)) link;
+      map (fun i -> Schedule.Crash i) r;
+      map (fun i -> Schedule.Recover i) r;
+    ]
+
+let schedule_arb =
+  QCheck.make
+    ~print:(fun s -> Schedule.to_string s)
+    QCheck.Gen.(list_size (int_range 0 24) step_gen)
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"schedule codec roundtrips" ~count:200 schedule_arb
+    (fun s -> Schedule.of_string (Schedule.to_string s) = s)
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+(* The shrinker's published contract: the shrunk schedule reproduces a
+   violation of the same invariant class, and removing any single
+   remaining step makes that reproduction disappear. *)
+let shrink_contract sched v =
+  let shrunk = CkL.shrink cfg ~ops sched v in
+  let same s =
+    match CkL.run cfg ~ops s with
+    | Some v' -> v'.Checker.invariant = v.Checker.invariant
+    | None -> false
+  in
+  same shrunk
+  && List.length shrunk <= List.length sched
+  && List.for_all
+       (fun i -> not (same (remove_nth i shrunk)))
+       (List.init (List.length shrunk) Fun.id)
+
+let shrinker_prop =
+  QCheck.Test.make ~name:"shrunk counterexamples still violate, minimally"
+    ~count:60 schedule_arb (fun sched ->
+      (* guarantee at least one scripted op so the lossy bug can fire. *)
+      let sched = Schedule.Op 0 :: sched in
+      match CkL.run cfg ~ops sched with
+      | None -> QCheck.assume_fail () (* ops exhausted by skips: impossible *)
+      | Some v -> shrink_contract sched v)
+
+let checker_tests =
+  [
+    Alcotest.test_case "known-good cell passes the exhaustive tier" `Quick
+      (fun () ->
+        let o = Ck.exhaustive cfg ~ops ~rounds:2 ~max_faults:1 in
+        check "no violation" true (o.Checker.failure = None);
+        check "explored some schedules" true (o.Checker.explored > 1));
+    Alcotest.test_case "known-good cell passes the random tier" `Quick
+      (fun () ->
+        let o = Ck.random cfg ~ops ~seed:7 ~walks:8 ~walk_len:40 in
+        check "no violation" true (o.Checker.failure = None));
+    Alcotest.test_case "a lossy protocol is convicted of data-loss" `Quick
+      (fun () ->
+        match (CkL.exhaustive cfg ~ops ~rounds:2 ~max_faults:1).Checker.failure with
+        | None -> Alcotest.fail "lossy protocol passed the checker"
+        | Some (_, v) -> check_string "invariant" "data-loss" v.Checker.invariant);
+    Alcotest.test_case "replaying a counterexample is deterministic" `Quick
+      (fun () ->
+        match (CkL.exhaustive cfg ~ops ~rounds:2 ~max_faults:1).Checker.failure with
+        | None -> Alcotest.fail "no counterexample to replay"
+        | Some (sched, v) ->
+            let once = CkL.run cfg ~ops sched in
+            check "replay violates" true (once = Some v);
+            check "replay is stable" true (CkL.run cfg ~ops sched = once));
+    Alcotest.test_case "the lossy counterexample shrinks to a single op" `Quick
+      (fun () ->
+        match (CkL.exhaustive cfg ~ops ~rounds:2 ~max_faults:1).Checker.failure with
+        | None -> Alcotest.fail "no counterexample to shrink"
+        | Some (sched, v) ->
+            let shrunk = CkL.shrink cfg ~ops sched v in
+            check "contract holds" true (shrink_contract sched v);
+            (* one ignored op is the entire bug. *)
+            Alcotest.(check int)
+              "minimal length" 1 (List.length shrunk);
+            check "it is an op step" true
+              (match shrunk with [ Schedule.Op _ ] -> true | _ -> false));
+  ]
+
+let qcheck_tests =
+  List.map
+    (QCheck_alcotest.to_alcotest ~long:false)
+    [ roundtrip_prop; shrinker_prop ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ("schedule-codec", codec_tests);
+      ("checker", checker_tests);
+      ("properties", qcheck_tests);
+    ]

@@ -165,6 +165,69 @@ let session_tests =
         let (a, b), _, _ = Pair_aggr.converge ~limit:48 (a, b) in
         check_int "union of 120" 120 (Si.weight (Pa.state a));
         check "equal" true (Si.equal (Pa.state a) (Pa.state b)));
+    Alcotest.test_case "Bloom FP residue is repaired while traffic flows"
+      `Quick (fun () ->
+        (* The quiet-link trigger's blind spot: a Bloom-escalated
+           session leaves false-positive residue (fpr=0.05 over a
+           60-element difference makes a collision near-certain), and
+           from the next round on the workload keeps delta traffic
+           flowing — so the link is never quiet again, the mismatch
+           streak is cleared every round, and BP delta groups never
+           re-carry old elements.  Only the post-escalation mark can
+           repair the residue: having just run a lossy Bloom round, one
+           digest mismatch must force a follow-up session immediately.
+
+           Round 0 (quiet): mismatch → session → IBLT gives up at 4
+           cells → Bloom round → residue; everything cascades within
+           the round.  Rounds 1..: one fresh op per replica per round,
+           delivered losslessly, so at each round end the states are
+           equal iff the residue is gone. *)
+        let a, b = Pair_aggr.make () in
+        let a = add_range Pa.local_update a 0 30 in
+        let b = add_range Pa.local_update b 1_000 1_030 in
+        (* burn the δ-buffers: the only repair path is a session *)
+        let a = fst (Pa.tick a) and b = fst (Pa.tick b) in
+        let nodes = [| a; b |] in
+        let equal () = Si.equal (Pa.state nodes.(0)) (Pa.state nodes.(1)) in
+        let next = ref 2_000_000 in
+        let round ~with_ops =
+          if with_ops then begin
+            Array.iteri
+              (fun i n -> nodes.(i) <- Pa.local_update n (!next + i))
+              nodes;
+            next := !next + 2
+          end;
+          let queue = Queue.create () in
+          Array.iteri
+            (fun i n ->
+              let n, msgs = Pa.tick n in
+              nodes.(i) <- n;
+              List.iter (fun (d, m) -> Queue.add (i, d, m) queue) msgs)
+            nodes;
+          let steps = ref 0 in
+          while (not (Queue.is_empty queue)) && !steps < 10_000 do
+            incr steps;
+            let src, dst, m = Queue.pop queue in
+            let n, replies = Pa.handle nodes.(dst) ~src m in
+            nodes.(dst) <- n;
+            List.iter (fun (d, m') -> Queue.add (dst, d, m') queue) replies
+          done
+        in
+        round ~with_ops:false;
+        check "Bloom round left false-positive residue" false (equal ());
+        let converged_at = ref None in
+        for r = 1 to 24 do
+          round ~with_ops:true;
+          if !converged_at = None && equal () then converged_at := Some r
+        done;
+        match !converged_at with
+        | None ->
+            Alcotest.fail
+              "false-positive residue was never repaired under traffic"
+        | Some r ->
+            check
+              (Printf.sprintf "follow-up session repaired at round %d" r)
+              true (r <= 4));
     Alcotest.test_case "session cost scales with the difference, not state"
       `Quick (fun () ->
         (* The headline claim at unit scale: same 2000-element base,
