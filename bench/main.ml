@@ -15,17 +15,18 @@ let all_ids =
   [
     "fig1"; "tab1"; "fig7"; "fig8"; "fig9"; "fig10"; "tab2"; "fig11";
     "ablation"; "cpu"; "delta"; "sim_scale"; "fault_matrix"; "wire_size";
-    "net_throughput"; "divergence_sweep";
+    "net_throughput"; "divergence_sweep"; "recovery_time";
   ]
 
 let usage () =
   Printf.printf
     "usage: main.exe [--quick|--paper] [--json] [%s ...]\n(fig11 also prints \
      Fig 12; no ids = run everything; --json makes `delta` / `sim_scale` / \
-     `fault_matrix` / `wire_size` / `net_throughput` / `divergence_sweep` \
-     write BENCH_delta_kernels.json / BENCH_sim_scale.json / \
+     `fault_matrix` / `wire_size` / `net_throughput` / `divergence_sweep` / \
+     `recovery_time` write BENCH_delta_kernels.json / BENCH_sim_scale.json / \
      BENCH_fault_matrix.json / BENCH_wire_size.json / \
-     BENCH_net_throughput.json / BENCH_divergence_sweep.json)\n"
+     BENCH_net_throughput.json / BENCH_divergence_sweep.json / \
+     BENCH_recovery_time.json)\n"
     (String.concat "|" all_ids)
 
 let () =
@@ -94,6 +95,10 @@ let () =
             Divergence_sweep.run ~quick
               ?json_path:
                 (if json then Some "BENCH_divergence_sweep.json" else None)
+              ()
+        | "recovery_time" ->
+            Recovery_time.run ~quick
+              ?json_path:(if json then Some "BENCH_recovery_time.json" else None)
               ()
         | _ -> assert false)
       ids;

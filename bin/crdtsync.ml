@@ -507,7 +507,8 @@ let parse_peer s =
   | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s)
 
 let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
-    max_ticks lockstep no_batch state_out metrics_out trace_out verbose =
+    max_ticks lockstep no_batch data_dir checkpoint_every fsync state_out
+    metrics_out trace_out verbose =
   try
     let module S = (val Registry.find_crdt crdt) in
     (match S.excluded protocol with
@@ -525,6 +526,47 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
     let module R = Crdt_net.Runtime.Make (P) in
     let listen = Crdt_net.Addr.parse_exn listen in
     let peers = List.map parse_peer peers in
+    let fsync =
+      match Crdt_store.Store.fsync_policy_of_string fsync with
+      | Ok p -> p
+      | Error m -> invalid_arg m
+    in
+    (* Durable storage: open (and recover) the segment log before the
+       runtime starts, so boot state and recovery stats exist up
+       front.  The store holds only CRDT bytes, so the protocol must
+       declare it can restart from a CRDT-state-only image. *)
+    let durable =
+      match data_dir with
+      | None -> None
+      | Some dir ->
+          if not P.capabilities.Crdt_proto.Protocol_intf.durable_restart then
+            invalid_arg
+              (Printf.sprintf
+                 "%s does not support --data-dir: restarting from a \
+                  CRDT-state-only durable image is outside its declared \
+                  capabilities"
+                 P.protocol_name);
+          let t0 = Unix.gettimeofday () in
+          let store, recovered = Crdt_store.Store.open_ ~fsync ~dir () in
+          let decode what s =
+            match Crdt_wire.Codec.decode_string S.C.codec s with
+            | Ok v -> v
+            | Error e ->
+                invalid_arg
+                  (Printf.sprintf "%s: undecodable %s record: %s" dir what
+                     (Crdt_wire.Codec.error_to_string e))
+          in
+          let boot =
+            List.fold_left
+              (fun acc d -> S.C.join acc (decode "delta" d))
+              (match recovered.Crdt_store.Store.checkpoint with
+              | Some c -> decode "checkpoint" c
+              | None -> S.C.bottom)
+              recovered.Crdt_store.Store.deltas
+          in
+          let recovery_s = Unix.gettimeofday () -. t0 in
+          Some (store, recovered, boot, recovery_s)
+    in
     let cfg =
       {
         (Crdt_net.Runtime.default_config ~id ~listen ~peers
@@ -542,6 +584,36 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
     let digest state =
       Digest.string (Crdt_wire.Codec.encode_to_string S.C.codec state)
     in
+    (* Persist sink: append the structural delta against the last image
+       written, and roll a checkpoint once enough deltas accumulated.
+       Boot only when the directory held anything — a fresh data dir
+       must not arm the recovery exchange of a first-boot replica. *)
+    let boot, persist =
+      match durable with
+      | None -> (None, None)
+      | Some (store, recovered, boot_state, _) ->
+          let last = ref boot_state in
+          let persist state =
+            let d = S.C.delta state !last in
+            if not (S.C.is_bottom d) then begin
+              Crdt_store.Store.append_delta store
+                (Crdt_wire.Codec.encode_to_string S.C.codec d);
+              if
+                checkpoint_every > 0
+                && Crdt_store.Store.deltas_since_checkpoint store
+                   >= checkpoint_every
+              then
+                Crdt_store.Store.checkpoint store
+                  (Crdt_wire.Codec.encode_to_string S.C.codec state)
+            end;
+            last := state
+          in
+          let boot =
+            if recovered.Crdt_store.Store.segments > 0 then Some boot_state
+            else None
+          in
+          (boot, Some persist)
+    in
     let res =
       with_trace_sink trace_out (fun sink ->
           (match sink with
@@ -550,9 +622,12 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
                 (Printf.sprintf "serve node=%d crdt=%s protocol=%s lockstep=%b"
                    id crdt protocol lockstep)
           | None -> ());
-          R.serve ?sink ~equal:S.C.equal ~digest cfg ~ops:(fun ~tick state ->
-              S.serve_ops ~id ~tick state))
+          R.serve ?sink ?persist ?boot ~equal:S.C.equal ~digest cfg
+            ~ops:(fun ~tick state -> S.serve_ops ~id ~tick state))
     in
+    (match durable with
+    | Some (store, _, _, _) -> Crdt_store.Store.close store
+    | None -> ());
     let final = res.R.state in
     Printf.printf "node %d: final state weight=%d bytes=%d (%s, %d ticks)\n"
       id (S.C.weight final) (S.C.byte_size final) P.protocol_name res.R.ticks;
@@ -564,11 +639,24 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
     (match metrics_out with
     | None -> ()
     | Some path ->
+        let recovery_json =
+          match durable with
+          | None -> ""
+          | Some (_, r, _, recovery_s) ->
+              Printf.sprintf
+                ",\"recovery\":{\"wall_s\":%.6f,\"checkpoint_bytes\":%d,\"replayed_records\":%d,\"replayed_bytes\":%d,\"truncated_bytes\":%d,\"segments\":%d}"
+                recovery_s r.Crdt_store.Store.checkpoint_bytes
+                r.Crdt_store.Store.replayed_records
+                r.Crdt_store.Store.replayed_bytes
+                r.Crdt_store.Store.truncated_bytes
+                r.Crdt_store.Store.segments
+        in
         write_file path
           (Printf.sprintf
-             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"writes\":%d,\"wall_s\":%.6f,\"tick_p99_us\":%.1f,\"totals\":%s}\n"
-             crdt protocol id res.R.ticks res.R.clean res.R.writes
-             res.R.wall_s res.R.tick_p99_us
+             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"exit_reason\":\"%s\",\"writes\":%d,\"wall_s\":%.6f,\"tick_p99_us\":%.1f%s,\"totals\":%s}\n"
+             crdt protocol id res.R.ticks res.R.clean
+             (Crdt_net.Runtime.stop_reason_name res.R.stop)
+             res.R.writes res.R.wall_s res.R.tick_p99_us recovery_json
              (counters_totals_json res.R.counters)));
     if res.R.clean then 0 else 1
   with
@@ -657,6 +745,34 @@ let serve_cmd =
              (the pre-batching data path), for throughput comparison. \
              Wire bytes are identical either way.")
   in
+  let data_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Durable storage directory (append-only delta log + \
+             checkpoints, lib/store).  On start the replica recovers \
+             checkpoint ⊔ logged deltas from DIR and runs the protocol's \
+             restart exchange; every tick's state change is appended as a \
+             wire-encoded delta.  Survives kill -9.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 64
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:
+            "Write a full-state checkpoint (pruning older segments) after \
+             N appended deltas; 0 disables checkpoints.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "interval"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "Log durability policy: always (fsync every append), interval \
+             or interval:SECONDS (group commit, default 50ms), never \
+             (leave flushing to the OS).  Checkpoints always fsync.")
+  in
   let state_out =
     Arg.(
       value & opt (some string) None
@@ -671,8 +787,9 @@ let serve_cmd =
        ~doc:"Run one live replica over real sockets (lib/net runtime)")
     Term.(
       const run_serve $ id $ listen $ peers $ crdt $ protocol $ ops $ tick_ms
-      $ quiet_ticks $ max_ticks $ lockstep $ no_batch $ state_out
-      $ metrics_out_arg $ trace_out_arg $ verbose)
+      $ quiet_ticks $ max_ticks $ lockstep $ no_batch $ data_dir
+      $ checkpoint_every $ fsync $ state_out $ metrics_out_arg
+      $ trace_out_arg $ verbose)
 
 (* -- partition ---------------------------------------------------------- *)
 
@@ -749,7 +866,7 @@ let topo_cmd =
 (* -- check -------------------------------------------------------------- *)
 
 let run_check proto crdt replicas ops_per rounds max_faults flush walks
-    walk_len seed replay =
+    walk_len seed durable replay =
   let module Cells = Crdt_check.Cells in
   let module Checker = Crdt_check.Checker in
   let checker_cfg =
@@ -758,6 +875,7 @@ let run_check proto crdt replicas ops_per rounds max_faults flush walks
       replicas;
       script_len = ops_per;
       flush_rounds = flush;
+      durable;
     }
   in
   try
@@ -885,6 +1003,18 @@ let check_cmd =
       value & opt int 42
       & info [ "seed" ] ~docv:"S" ~doc:"Base seed for the random tier.")
   in
+  let durable =
+    Arg.(
+      value & flag
+      & info [ "durable" ]
+          ~doc:
+            "Model crash/recover as kill -9 plus restart-from-disk: replicas \
+             persist through the driver's store seam, a crash checks the \
+             durable image is a lattice prefix of the pre-crash state, and \
+             recovery reloads from that image (losing volatile state) \
+             instead of resuming in memory.  Protocols that cannot restart \
+             from a CRDT-state-only image keep the in-memory model.")
+  in
   let replay =
     Arg.(
       value
@@ -901,7 +1031,7 @@ let check_cmd =
           small-scope schedules + seeded random walks)")
     Term.(
       const run_check $ proto $ crdt $ replicas $ ops_per $ rounds
-      $ max_faults $ flush $ walks $ walk_len $ seed $ replay)
+      $ max_faults $ flush $ walks $ walk_len $ seed $ durable $ replay)
 
 let () =
   let doc = "Efficient synchronization of state-based CRDTs — experiments" in

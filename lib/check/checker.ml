@@ -15,10 +15,17 @@ type config = {
   script_len : int;
   flush_rounds : int;
   max_steps : int;
+  durable : bool;
 }
 
 let default_config =
-  { replicas = 2; script_len = 4; flush_rounds = 48; max_steps = 100_000 }
+  {
+    replicas = 2;
+    script_len = 4;
+    flush_rounds = 48;
+    max_steps = 100_000;
+    durable = false;
+  }
 
 type violation = { invariant : string; detail : string; at_step : int }
 type outcome = { explored : int; failure : (Schedule.t * violation) option }
@@ -41,25 +48,44 @@ struct
     links : P.message Queue.t array array; (* [src].(dst) *)
     held : P.message Queue.t array array;
     ops_done : int array;
+    disk : C.t array;
+        (** durable mode: per-replica on-disk image, written through the
+            driver's persist seam at the same durability points the
+            socket runtime uses (ops immediately, deliveries at the next
+            tick), so a crash between ticks loses delivered-but-unsynced
+            joins — the case the recovery exchange must repair. *)
     mutable oracle : C.t;
     mutable step_no : int; (* index of the step being executed; -1 in flush *)
   }
 
+  (* Durable mode is per-cell: a protocol that cannot restart from a
+     CRDT-state-only image (Scuttlebutt) keeps the in-memory crash
+     model even under a durable config. *)
+  let durable_mode cfg = cfg.durable && P.capabilities.durable_restart
+
   let make_sys cfg ops =
     let n = cfg.replicas in
     let neighbors id = List.init n Fun.id |> List.filter (fun j -> j <> id) in
-    {
-      cfg;
-      ops;
-      drv =
-        Array.init n (fun id ->
-            D.create ~id ~neighbors:(neighbors id) ~total:n ());
-      links = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-      held = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
-      ops_done = Array.make n 0;
-      oracle = C.bottom;
-      step_no = 0;
-    }
+    let sys =
+      {
+        cfg;
+        ops;
+        drv =
+          Array.init n (fun id ->
+              D.create ~id ~neighbors:(neighbors id) ~total:n ());
+        links = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+        held = Array.init n (fun _ -> Array.init n (fun _ -> Queue.create ()));
+        ops_done = Array.make n 0;
+        disk = Array.make n C.bottom;
+        oracle = C.bottom;
+        step_no = 0;
+      }
+    in
+    if durable_mode cfg then
+      Array.iteri
+        (fun r d -> D.set_persist d (fun x -> sys.disk.(r) <- x))
+        sys.drv;
+    sys
 
   let fail sys invariant fmt =
     Format.kasprintf
@@ -115,7 +141,12 @@ struct
               before script
           in
           sys.oracle <- C.join sys.oracle intended;
-          check_phantom sys r
+          check_phantom sys r;
+          (* Local ops become durable before they are acknowledged (the
+             socket runtime applies and syncs within one tick), so a
+             crash never loses an op — only delivered-but-unsynced
+             joins, which the sender still holds. *)
+          if durable_mode sys.cfg then D.sync_store d
         end
     | Tick r ->
         let d = sys.drv.(r) in
@@ -123,7 +154,8 @@ struct
           let before = D.state d in
           D.tick d ~round:sys.step_no ~emit:(emit sys r);
           check_monotone sys r before (D.state d);
-          check_phantom sys r
+          check_phantom sys r;
+          if durable_mode sys.cfg then D.sync_store d
         end
     | Deliver (s, t) ->
         if not (Queue.is_empty sys.links.(s).(t)) then begin
@@ -163,16 +195,43 @@ struct
           if not (C.equal before (D.state d)) then
             fail sys "durability"
               "crash lost durable state at replica %d (weight %d -> %d)" r
-              (C.weight before) (C.weight (D.state d))
+              (C.weight before) (C.weight (D.state d));
+          if durable_mode sys.cfg && not (C.leq sys.disk.(r) before) then
+            fail sys "durability"
+              "replica %d's on-disk image is not a lattice prefix of its \
+               pre-crash state (disk weight %d vs state %d)"
+              r
+              (C.weight sys.disk.(r))
+              (C.weight before)
         end
     | Recover r ->
         let d = sys.drv.(r) in
-        if D.down d then begin
-          let before = D.state d in
-          D.recover d ~round:sys.step_no;
-          check_monotone sys r before (D.state d);
-          check_phantom sys r
-        end
+        if D.down d then
+          if durable_mode sys.cfg then begin
+            (* True process restart: volatile state is gone, the replica
+               reboots from whatever reached disk.  The state may
+               legitimately {e regress} relative to the in-memory image
+               (unsynced deliveries are lost), so monotonicity is
+               replaced by containment: disk ⊑ pre-crash, and the
+               reloaded state stays inside the oracle.  The flush phase
+               then proves the recovery exchange wins the gap back. *)
+            let before = D.state d in
+            D.restart_from d sys.disk.(r);
+            let after = D.state d in
+            if not (C.leq after before) then
+              fail sys "durability"
+                "replica %d restarted from disk with state beyond its \
+                 pre-crash image (weight %d vs %d)"
+                r (C.weight after) (C.weight before);
+            check_phantom sys r;
+            D.sync_store d
+          end
+          else begin
+            let before = D.state d in
+            D.recover d ~round:sys.step_no;
+            check_monotone sys r before (D.state d);
+            check_phantom sys r
+          end
 
   let iter_links sys f =
     let n = sys.cfg.replicas in

@@ -14,6 +14,18 @@
       leaves the CRDT state unchanged (duplication is a mandatory
       tolerance of every protocol);
     - {b durability}: [P.crash] preserves the durable CRDT state exactly;
+      under a durable config ({!config.durable}) the crash model sharpens
+      to a real process restart: each replica writes through the driver's
+      persist seam at the same durability points the socket runtime uses
+      (ops immediately, deliveries at the next tick), a crash additionally
+      asserts the on-disk image is a lattice prefix of the pre-crash
+      state, and recovery reboots from that image via [P.load] — losing
+      all volatile protocol state and any unsynced deliveries — instead
+      of [P.recover].  Monotonicity is then replaced by containment
+      across the restart (the reloaded state may regress but must stay
+      within both the pre-crash state and the oracle), and the flush
+      phase proves the protocol's recovery exchange re-converges to the
+      oracle from the disk image alone;
     - {b convergence}: once the schedule ends, held messages are
       released, crashed replicas recover, and a bounded number of
       fault-free flush rounds must bring {e every} replica to a state
@@ -42,11 +54,17 @@ type config = {
   flush_rounds : int;
       (** fault-free rounds allowed for post-schedule convergence. *)
   max_steps : int;  (** safety cap on message-drain loops. *)
+  durable : bool;
+      (** model crash/recover as kill -9 + restart-from-disk ([P.load])
+          instead of in-memory [P.recover].  Only takes effect for
+          protocols whose capabilities declare [durable_restart]; others
+          keep the in-memory model even under a durable config. *)
 }
 
 val default_config : config
 (** 2 replicas, 4 ops each (enough to reach the registry orset workload's
-    remove at script index 3), 48 flush rounds, 100_000-step drain cap. *)
+    remove at script index 3), 48 flush rounds, 100_000-step drain cap,
+    in-memory crash model. *)
 
 type violation = {
   invariant : string;

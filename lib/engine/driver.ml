@@ -8,12 +8,16 @@
 module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
   type t = {
     id : int;
+    neighbors : int list;
+    total : int;
     sink : Trace.sink;
     exact : bool;
     changed : (P.crdt -> P.crdt -> bool) option;
     mutable node : P.node;
     mutable down : bool;
     mutable dirty : bool;
+    mutable store_dirty : bool;
+    mutable persist : (P.crdt -> unit) option;
     mutable ops_applied : int;
   }
 
@@ -21,12 +25,16 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       ~neighbors ~total () =
     {
       id;
+      neighbors;
+      total;
       sink;
       exact = exact_bytes;
       changed;
       node = P.init ~id ~neighbors ~total;
       down = false;
       dirty = false;
+      store_dirty = false;
+      persist = None;
       ops_applied = 0;
     }
 
@@ -45,7 +53,10 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
           t.node <- P.local_update t.node op;
           incr n)
         ops;
-      if !n > 0 then t.dirty <- true;
+      if !n > 0 then begin
+        t.dirty <- true;
+        t.store_dirty <- true
+      end;
       t.ops_applied <- t.ops_applied + !n;
       !n
     end
@@ -88,9 +99,19 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       let node, replies = P.handle prev ~src msg in
       t.node <- node;
       (match t.changed with
-      | Some changed when not t.dirty ->
-          if changed (P.state prev) (P.state node) then t.dirty <- true
-      | _ -> ());
+      | Some changed ->
+          if
+            not (t.dirty && t.store_dirty)
+            && changed (P.state prev) (P.state node)
+          then begin
+            t.dirty <- true;
+            t.store_dirty <- true
+          end
+      | None ->
+          (* No comparator: persistence dedupes in the sink instead
+             (the delta against the last persisted image is bottom when
+             nothing inflated). *)
+          t.store_dirty <- true);
       List.iter
         (fun (dest, m) ->
           send_event t ~round ~dest m;
@@ -107,7 +128,30 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     t.down <- false;
     t.node <- P.recover t.node;
     t.dirty <- true;
+    t.store_dirty <- true;
     t.sink.recover ~node:t.id ~round
+
+  (* ---------------------------------------------------------------- *)
+  (* Persistence seam.  The transport decides *when* durability points
+     happen (once per tick / round), the sink decides *what* writing
+     means (delta append, checkpoint roll — lib/store via bin/, or an
+     in-memory probe in tests); the driver only tracks whether the
+     state may have inflated since the last sync. *)
+
+  let set_persist t f = t.persist <- Some f
+
+  let sync_store t =
+    match t.persist with
+    | Some f when t.store_dirty ->
+        t.store_dirty <- false;
+        f (P.state t.node)
+    | _ -> ()
+
+  let restart_from t s =
+    t.node <- P.load (P.init ~id:t.id ~neighbors:t.neighbors ~total:t.total) s;
+    t.down <- false;
+    t.dirty <- true;
+    t.store_dirty <- true
 
   let finish t ~round = t.sink.finish ~node:t.id ~round
 
@@ -115,6 +159,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     s_node : P.node;
     s_down : bool;
     s_dirty : bool;
+    s_store_dirty : bool;
     s_ops_applied : int;
   }
 
@@ -123,6 +168,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       s_node = t.node;
       s_down = t.down;
       s_dirty = t.dirty;
+      s_store_dirty = t.store_dirty;
       s_ops_applied = t.ops_applied;
     }
 
@@ -130,6 +176,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     t.node <- s.s_node;
     t.down <- s.s_down;
     t.dirty <- s.s_dirty;
+    t.store_dirty <- s.s_store_dirty;
     t.ops_applied <- s.s_ops_applied
   let work t = P.work t.node
   let memory_weight t = P.memory_weight t.node

@@ -75,6 +75,30 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) : sig
   val recover : t -> round:int -> unit
   (** [P.recover] + mark up (and dirty) + [Recover] event. *)
 
+  val set_persist : t -> (P.crdt -> unit) -> unit
+  (** Attach a durability sink.  The driver tracks which steps may have
+      inflated the CRDT state; {!sync_store} hands the current state to
+      the sink when (and only when) something happened since the last
+      sync.  What "persisting" means — appending a delta against the
+      last written image, rolling a checkpoint — is entirely the
+      sink's business (see [lib/store] and [bin/crdtsync.ml]); the
+      driver stays storage-agnostic.  This is the one seam the
+      simulator, the socket runtime and the model checker share. *)
+
+  val sync_store : t -> unit
+  (** Durability point: invoke the {!set_persist} sink with the current
+      state if any apply/deliver/recover since the last call may have
+      changed it.  Transports call this once per tick (sockets) or
+      exploration step (checker).  No-op without a sink. *)
+
+  val restart_from : t -> P.crdt -> unit
+  (** Rebuild this replica as a fresh process restarted from durable
+      storage: replaces the node with [P.load (P.init ...) s] — losing
+      {e all} volatile protocol state, unlike {!recover} which keeps
+      the in-memory durable image — marks it up and dirty.  [s] is
+      what the storage layer recovered (checkpoint ⊔ logged deltas), a
+      lattice prefix of the pre-crash state. *)
+
   val finish : t -> round:int -> unit
   (** Report a [Done] event (the replica converged / agreed to stop). *)
 

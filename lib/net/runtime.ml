@@ -90,6 +90,21 @@ let kind_done = 2
 let kind_mark = 3
 let kind_digest = 4
 
+(** Why the serve loop stopped — reported structurally so kill-restart
+    tests and benches can assert the exact cause from the metrics
+    JSON. *)
+type stop_reason =
+  | Agreement  (** mutual Done / lockstep digest unanimity. *)
+  | Max_ticks  (** the tick-count failsafe fired. *)
+  | Max_wall  (** the wall-clock failsafe fired. *)
+  | Signal of int  (** SIGTERM/SIGINT-initiated graceful shutdown. *)
+
+let stop_reason_name = function
+  | Agreement -> "clean"
+  | Max_ticks -> "max_ticks"
+  | Max_wall -> "wall_s"
+  | Signal _ -> "signal"
+
 type config = {
   id : int;  (** this replica's node id. *)
   listen : Addr.t;
@@ -179,7 +194,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             bound). *)
     clean : bool;
         (** whether the run terminated by agreement (mutual [Done] /
-            digest unanimity) rather than the [max_ticks] failsafe. *)
+            digest unanimity) rather than a failsafe or a signal. *)
+    stop : stop_reason;  (** the structured version of [clean]. *)
   }
 
   type inbound = {
@@ -201,6 +217,18 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     rng : Random.State.t;  (** dial-backoff jitter only. *)
     mutable quiet : int;
     mutable done_sent : bool;
+    sig_stop : int option ref;
+        (** set by the SIGTERM/SIGINT handler; checked at tick/round
+            boundaries. *)
+    (* Wall-clock dead-peer bookkeeping: a failed send buries the
+       connection and schedules redials with capped backoff, so a peer
+       that was kill -9'd and restarted from its data dir is re-linked
+       (both directions: it re-dials us on boot, we re-dial it here). *)
+    mutable to_bury : int list;
+        (** peers whose outbound connection failed mid-iteration;
+            swept by [bury] outside the iteration. *)
+    dead : (int, float * float) Hashtbl.t;
+        (** peer id ↦ (next redial attempt time, current backoff). *)
     (* Lockstep bookkeeping. *)
     msgq : (int, (int * string) list ref) Hashtbl.t;
         (** round ↦ (src, undecoded payload) in arrival order. *)
@@ -266,9 +294,18 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         Evloop.set_write st.loop (Conn.fd conn) (Conn.pending_out conn > 0)
     | Error m ->
         Evloop.remove st.loop (Conn.fd conn);
-        if ignore_dead || Hashtbl.mem st.peer_done j || not st.cfg.lockstep
-        then log st "send to peer %d failed (%s); ignored" j m
-        else failwith (Printf.sprintf "send to peer %d failed: %s" j m)
+        if st.cfg.lockstep then
+          if ignore_dead || Hashtbl.mem st.peer_done j then
+            log st "send to peer %d failed (%s); ignored" j m
+          else failwith (Printf.sprintf "send to peer %d failed: %s" j m)
+        else begin
+          (* Wall-clock mode: the peer may be mid-restart — bury the
+             connection and let the redial machinery re-link.  Deferred
+             to [bury]: this path runs inside Hashtbl.iter over
+             [st.out]. *)
+          log st "send to peer %d failed (%s); scheduling redial" j m;
+          st.to_bury <- j :: st.to_bury
+        end
 
   let flush_all st = Hashtbl.iter (fun j conn -> flush_peer st j conn) st.out
 
@@ -278,7 +315,15 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
      path kept for measurement). *)
   let ship st dest msg =
     match Hashtbl.find_opt st.out dest with
-    | None -> failwith (Printf.sprintf "no connection to peer %d" dest)
+    | None ->
+        if st.cfg.lockstep then
+          failwith (Printf.sprintf "no connection to peer %d" dest)
+        else
+          (* The peer is down (buried, awaiting redial).  Dropping is
+             safe in wall-clock mode: every registered protocol either
+             retries by design or runs an explicit recovery exchange
+             once the restarted peer dials back in. *)
+          log st "dropping message to dead peer %d" dest
     | Some conn ->
         if st.cfg.batch then
           Conn.stage_value conn ~kind:kind_message P.message_codec msg
@@ -294,6 +339,75 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         Conn.stage conn ~kind payload;
         flush_peer ~ignore_dead st j conn)
       st.out
+
+  (* Sweep connections whose sends failed this pass (wall-clock mode):
+     close them, drop them from the outbound table and schedule the
+     first redial attempt. *)
+  let bury st =
+    List.iter
+      (fun j ->
+        match Hashtbl.find_opt st.out j with
+        | None -> ()
+        | Some conn ->
+            Conn.close conn;
+            Hashtbl.remove st.out j;
+            Hashtbl.replace st.dead j (Unix.gettimeofday () +. 0.05, 0.05))
+      st.to_bury;
+    st.to_bury <- []
+
+  (* One non-blocking-ish redial attempt per due dead peer.  On
+     success the link is fresh: the peer's pre-death Done (if any) no
+     longer stands for its current incarnation, and our own Done — if
+     already sent — never reached the new process, so both are reset
+     and re-earned (Done is idempotent on the receiving side). *)
+  let try_redial st j addr =
+    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Addr.to_sockaddr addr) with
+    | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        false
+    | () -> (
+        (match addr with
+        | Addr.Tcp _ -> Unix.setsockopt fd Unix.TCP_NODELAY true
+        | Addr.Unix_sock _ -> ());
+        let conn = Conn.create fd in
+        match Conn.send conn ~kind:kind_hello (id_payload st.cfg.id) with
+        | Error _ ->
+            Conn.close conn;
+            false
+        | Ok () ->
+            Evloop.add st.loop ~read:false (Conn.fd conn);
+            Evloop.set_write st.loop (Conn.fd conn)
+              (Conn.pending_out conn > 0);
+            Hashtbl.replace st.out j conn;
+            Hashtbl.remove st.peer_done j;
+            st.done_sent <- false;
+            st.quiet <- 0;
+            log st "re-connected to peer %d" j;
+            true)
+
+  let redial_pass st =
+    bury st;
+    if Hashtbl.length st.dead > 0 then begin
+      let now = Unix.gettimeofday () in
+      let due =
+        Hashtbl.fold
+          (fun j (at, delay) acc -> if at <= now then (j, delay) :: acc else acc)
+          st.dead []
+      in
+      List.iter
+        (fun (j, delay) ->
+          match List.assoc_opt j st.cfg.peers with
+          | None -> Hashtbl.remove st.dead j
+          | Some addr ->
+              if try_redial st j addr then Hashtbl.remove st.dead j
+              else
+                let delay = Float.min 1.0 (delay *. 2.) in
+                let jitter = 0.75 +. Random.State.float st.rng 0.5 in
+                Hashtbl.replace st.dead j
+                  (Unix.gettimeofday () +. (delay *. jitter), delay))
+        due
+    end
 
   let decode_message ~src payload =
     match Crdt_wire.Codec.decode_string P.message_codec payload with
@@ -318,7 +432,17 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
      replies ship immediately.  [tick] is the current tick number, used
      as the trace round. *)
   let handle_frame_wallclock st ~tick ib (kind, payload) =
-    if kind = kind_hello then ib.peer := Some (decode_id payload)
+    if kind = kind_hello then begin
+      let j = decode_id payload in
+      ib.peer := Some j;
+      (* A Hello announces a fresh process incarnation dialing in: a
+         Done recorded for this peer belongs to its previous life, and
+         our own Done (if announced) never reached the new process —
+         reset both so they are re-earned.  At initial startup this is
+         a no-op (no Done exists yet). *)
+      Hashtbl.remove st.peer_done j;
+      st.done_sent <- false
+    end
     else if kind = kind_done then begin
       let j = decode_id payload in
       log st "peer %d done" j;
@@ -441,6 +565,10 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     if n < st.cfg.ops_ticks then
       ignore (D.apply st.drv (ops ~tick:n (D.state st.drv)));
     D.tick st.drv ~round:n ~emit:(fun ~dest m -> ship st dest m);
+    (* Durability point: everything applied or delivered since the last
+       tick reaches the store (when one is attached) before this tick's
+       quiescence/Done decisions. *)
+    D.sync_store st.drv;
     let busy = n < st.cfg.ops_ticks || D.dirty st.drv in
     D.clear_dirty st.drv;
     st.quiet <- (if busy then 0 else st.quiet + 1);
@@ -457,6 +585,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     let n = ref 0 in
     let result = ref None in
     while !result = None do
+      (match !(st.sig_stop) with
+      | Some s -> result := Some (Signal s)
+      | None -> ());
       let timeout =
         let t = Float.max 0. (!next_tick -. Unix.gettimeofday ()) in
         (* Free-running nodes (tick_ms = 0) that have announced Done and
@@ -472,6 +603,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       in
       ignore
         (pump st ~timeout ~dispatch:(handle_frame_wallclock st ~tick:!n));
+      redial_pass st;
       let now = Unix.gettimeofday () in
       if now >= !next_tick then begin
         (* The tick and everything it staged — messages, replies raised
@@ -488,19 +620,21 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
            quiet count; resynchronize to the clock instead. *)
         let due = !next_tick +. tick_s in
         next_tick := (if due < now then now +. tick_s else due);
-        if finished st then result := Some true
-        else if !n >= st.cfg.max_ticks then begin
-          Printf.eprintf "node %d: max_ticks (%d) reached before shutdown\n%!"
-            st.cfg.id st.cfg.max_ticks;
-          result := Some false
-        end
-        else if
-          st.cfg.max_wall_s > 0. && now -. t_begin > st.cfg.max_wall_s
-        then begin
-          Printf.eprintf "node %d: max_wall_s (%.0fs) reached before shutdown\n%!"
-            st.cfg.id st.cfg.max_wall_s;
-          result := Some false
-        end
+        if !result = None then
+          if finished st then result := Some Agreement
+          else if !n >= st.cfg.max_ticks then begin
+            Printf.eprintf
+              "node %d: max_ticks (%d) reached before shutdown\n%!" st.cfg.id
+              st.cfg.max_ticks;
+            result := Some Max_ticks
+          end
+          else if st.cfg.max_wall_s > 0. && now -. t_begin > st.cfg.max_wall_s
+          then begin
+            Printf.eprintf
+              "node %d: max_wall_s (%.0fs) reached before shutdown\n%!"
+              st.cfg.id st.cfg.max_wall_s;
+            result := Some Max_wall
+          end
       end
       else
         (* No tick due: replies staged while pumping still leave this
@@ -528,6 +662,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     let r = ref 0 in
     let result = ref None in
     while !result = None do
+      (match !(st.sig_stop) with
+      | Some s -> result := Some (Signal s)
+      | None -> ());
       let round = !r in
       (* Replies buffered while waiting on the previous round's barrier
          belong to this round's wave.  In batched mode the whole wave —
@@ -563,6 +700,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
                 (decode_message ~src payload))
             (List.rev !q);
           Hashtbl.remove st.msgq round);
+      (* Round durability point, mirroring the wall-clock tick's. *)
+      D.sync_store st.drv;
       let ops_done = round + 1 >= st.cfg.ops_ticks in
       let my_digest = digest (D.state st.drv) in
       broadcast st ~kind:kind_digest
@@ -587,16 +726,17 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       in
       List.iter (fun j -> Hashtbl.remove st.digests (round, j)) peer_ids;
       incr r;
-      if all_done && all_agree then begin
-        D.finish st.drv ~round;
-        result := Some true
-      end
-      else if !r >= st.cfg.max_ticks then begin
-        Printf.eprintf
-          "node %d: max_ticks (%d) reached before lockstep agreement\n%!"
-          st.cfg.id st.cfg.max_ticks;
-        result := Some false
-      end
+      if !result = None then
+        if all_done && all_agree then begin
+          D.finish st.drv ~round;
+          result := Some Agreement
+        end
+        else if !r >= st.cfg.max_ticks then begin
+          Printf.eprintf
+            "node %d: max_ticks (%d) reached before lockstep agreement\n%!"
+            st.cfg.id st.cfg.max_ticks;
+          result := Some Max_ticks
+        end
     done;
     (Option.get !result, !r)
 
@@ -609,13 +749,31 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       of the CRDT state — equal states must digest equally across
       processes — and drives lockstep termination.  [sink] attaches a
       trace sink (e.g. a JSONL writer) on top of the runtime's internal
-      counting sink. *)
-  let serve ?sink ~(equal : P.crdt -> P.crdt -> bool)
+      counting sink.
+
+      [persist] attaches a durability sink ({!D.set_persist}): it is
+      invoked with the current state at every tick/round whose
+      apply/deliver work may have inflated it.  [boot] restarts the
+      replica from a durably recovered state before dialing: the node
+      is rebuilt via [P.load] — volatile protocol state gone, recovery
+      exchange armed — exactly the semantics of a process that died and
+      came back from its data directory. *)
+  let serve ?sink ?persist ?boot ~(equal : P.crdt -> P.crdt -> bool)
       ~(digest : P.crdt -> string) (cfg : config)
       ~(ops : tick:int -> P.crdt -> P.op list) : result =
     (match Sys.signal Sys.sigpipe Sys.Signal_ignore with
     | _ -> ()
     | exception (Invalid_argument _ | Sys_error _) -> ());
+    let sig_stop = ref None in
+    (* Graceful shutdown: note the signal, let the loop finish its pass
+       and exit with [Signal] — the caller then syncs and closes its
+       store and reports the structured exit reason. *)
+    List.iter
+      (fun s ->
+        match Sys.signal s (Sys.Signal_handle (fun s -> sig_stop := Some s)) with
+        | _ -> ()
+        | exception (Invalid_argument _ | Sys_error _) -> ())
+      [ Sys.sigterm; Sys.sigint ];
     let counters = Trace.make_counters () in
     let counting = Trace.counting counters in
     let sink =
@@ -629,6 +787,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         ~changed:(fun a b -> not (equal a b))
         ~id:cfg.id ~neighbors ~total:cfg.total ()
     in
+    (match boot with Some s -> D.restart_from drv s | None -> ());
+    (match persist with Some f -> D.set_persist drv f | None -> ());
     Addr.cleanup cfg.listen;
     let listener = Unix.socket (Addr.domain cfg.listen) Unix.SOCK_STREAM 0 in
     (match cfg.listen with
@@ -651,6 +811,9 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         rng = Random.State.make [| cfg.id; 0x6e6574 |];
         quiet = 0;
         done_sent = false;
+        sig_stop;
+        to_bury = [];
+        dead = Hashtbl.create 4;
         msgq = Hashtbl.create 8;
         marks_of = Hashtbl.create (List.length cfg.peers);
         digests = Hashtbl.create 8;
@@ -662,10 +825,12 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
        tick, so no protocol message is ever emitted into the void. *)
     List.iter (dial st) cfg.peers;
     let t_start = Unix.gettimeofday () in
-    let clean, ticks =
+    let stop, ticks =
       if cfg.lockstep then serve_lockstep st ~digest ~ops
       else serve_wallclock st ~ops
     in
+    (* Last durability point: deliveries since the final tick. *)
+    D.sync_store drv;
     let wall_s = Unix.gettimeofday () -. t_start in
     (* Final drain: a frame queued behind a full socket buffer (a slow
        peer under free-running ticks) must not be discarded by the
@@ -705,6 +870,7 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       writes;
       wall_s;
       tick_p99_us = percentile st.tick_times 99 *. 1e6;
-      clean;
+      clean = (stop = Agreement);
+      stop;
     }
 end

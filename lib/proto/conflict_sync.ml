@@ -203,6 +203,7 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       tolerates_partition = true;
       tolerates_delay = true;
       tolerates_crash = true;
+      durable_restart = true;
     }
 
   (* Session ids are namespaced by the issuing replica so the two
@@ -248,6 +249,12 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     }
 
   let recover n = { n with resync = Iset.of_list n.neighbors }
+
+  (* Restart-from-disk: the digest session machinery only ever compares
+     states, so installing the recovered state and arming a resync with
+     every neighbor is the whole story (the digest cache keys on
+     physical state identity and self-invalidates). *)
+  let load n s = recover { n with x = C.join n.x s }
 
   (* Commutative digest of ⇓x, memoized on the physical state — ticks
      between changes pay one pointer compare, not a decomposition. *)

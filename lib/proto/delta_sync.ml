@@ -149,6 +149,7 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       tolerates_partition = cfg.ack_mode;
       tolerates_delay = true;
       tolerates_crash = true;
+      durable_restart = true;
     }
 
   let init ~id ~neighbors ~total:_ =
@@ -181,6 +182,12 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
     }
 
   let recover n = { n with need_sync = Iset.of_list n.neighbors }
+
+  (* Restart-from-disk: install the recovered state and run the same
+     retried SyncReq/SyncResp exchange as an in-memory restart — it is
+     bidirectional, so it also re-propagates any tail deltas the log
+     kept but the rest of the cluster never saw. *)
+  let load n s = recover { n with x = C.join n.x s }
 
   (* fun store(s, o) — lines 18-20: join into the local state and into
      the origin's δ-group (non-ack), or cons a seq-tagged entry (ack).

@@ -66,10 +66,12 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       tolerates_partition = true;
       tolerates_delay = true;
       tolerates_crash = true;
+      durable_restart = true;
     }
 
   let crash n = { n with cache = None }
   let recover n = n
+  let load n s = { n with x = C.join n.x s; cache = None }
 
   let init ~id ~neighbors ~total:_ =
     {

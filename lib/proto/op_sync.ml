@@ -68,6 +68,7 @@ module Make (C : Protocol_intf.CRDT) :
       tolerates_partition = false;
       tolerates_delay = true;
       tolerates_crash = false;
+      durable_restart = false;
     }
 
   (* Durable: the CRDT state together with the delivered-clock — they
@@ -77,6 +78,11 @@ module Make (C : Protocol_intf.CRDT) :
      and custody buffers. *)
   let crash n = { n with pending = Opmap.empty; tbuf = Opmap.empty }
   let recover n = n
+
+  (* Crash is not tolerated (see capabilities), so no driver restarts
+     this protocol from disk; the state-join definition keeps the
+     signature total and the [load] law intact. *)
+  let load n s = { n with x = C.join n.x s }
 
   let init ~id ~neighbors ~total:_ =
     {

@@ -42,6 +42,14 @@ type capabilities = {
   tolerates_crash : bool;
       (** node restart losing volatile protocol state but keeping the
           durable CRDT state (see {!PROTOCOL.crash}). *)
+  durable_restart : bool;
+      (** whole-process restart from a durable image holding {e only}
+          the CRDT state (see {!PROTOCOL.load}).  Strictly stronger
+          than [tolerates_crash]: Scuttlebutt, for instance, survives
+          an in-memory restart (its documented durable unit includes
+          the summary vector) but not a CRDT-state-only reload — a
+          fresh summary would reuse sequence numbers and alias
+          different deltas under one version pair. *)
 }
 
 module type PROTOCOL = sig
@@ -83,6 +91,17 @@ module type PROTOCOL = sig
   (** The node restarts from the durable image left by {!crash}:
       rebuilds whatever working state it can and initiates the
       protocol's recovery exchange (if any) on subsequent {!tick}s. *)
+
+  val load : node -> crdt -> node
+  (** The node restarts as a {e fresh process} whose only input is a
+      CRDT state recovered from durable storage: [load (init ...) s]
+      installs [s] as the local state and arms the same recovery
+      exchange {!recover} would.  The in-memory crash model keeps the
+      full pre-crash [xᵢ] by fiat; here the storage layer supplies a
+      lattice prefix of it ([s ⊑] pre-crash state — a torn log tail may
+      have dropped the last delta), and the recovery exchange plus
+      ordinary anti-entropy close the gap.  Law: [state (load n s) =
+      join (state n) s]. *)
 
   val state : node -> crdt
   (** Current local lattice state [xᵢ]. *)

@@ -71,6 +71,13 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       tolerates_partition = true;
       tolerates_delay = true;
       tolerates_crash = true;
+      (* A CRDT-state-only reload cannot restore the summary vector, so
+         a restarted node would reuse its own sequence numbers — two
+         different deltas aliased under one version pair breaks the
+         versioned-store invariant.  Durable restart would need the
+         summary persisted with the state (the documented checkpoint
+         unit); the current store layer keeps only CRDT bytes. *)
+      durable_restart = false;
     }
 
   (* The GC variant needs the system size to tell when everyone has seen
@@ -136,6 +143,12 @@ module Make (C : Protocol_intf.CRDT) (Cfg : CONFIG) :
       let seq = Vclock.get n.self n.summary + 1 in
       let store = store_add n.self seq n.x n.store in
       { n with store; summary = advance_summary n.self store n.summary }
+
+  (* Only sound when [n] carries the durable summary vector alongside
+     the state (capabilities declare [durable_restart = false]; see
+     there) — drivers never call this on a fresh node, but the
+     definition honors the [load] law for completeness. *)
+  let load n s = recover { n with x = C.join n.x s }
 
   let local_update n op =
     let delta = C.delta_mutate op n.id n.x in

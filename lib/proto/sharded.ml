@@ -91,6 +91,24 @@ end = struct
       manifest_from = Iset.of_list n.neighbors;
     }
 
+  (* Restart-from-disk: every key present in the durable image gets a
+     per-object [P.load]; keys created cluster-wide while this node was
+     down (or lost to a torn log tail) are pulled by the same manifest
+     exchange an in-memory restart runs. *)
+  let load n s =
+    let objects =
+      List.fold_left
+        (fun objects (k, x) ->
+          let o =
+            match Km.find_opt k objects with
+            | Some o -> o
+            | None -> P.init ~id:n.id ~neighbors:n.neighbors ~total:n.total
+          in
+          Km.add k (P.load o x) objects)
+        n.objects s
+    in
+    { n with objects; manifest_from = Iset.of_list n.neighbors }
+
   let init ~id ~neighbors ~total =
     { id; neighbors; total; objects = Km.empty; manifest_from = Iset.empty }
 

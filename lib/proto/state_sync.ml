@@ -31,10 +31,12 @@ module Make (C : Protocol_intf.CRDT) :
       tolerates_partition = true;
       tolerates_delay = true;
       tolerates_crash = true;
+      durable_restart = true;
     }
 
   let crash n = n
   let recover n = n
+  let load n s = { n with x = C.join n.x s }
 
   let init ~id ~neighbors ~total:_ =
     { id = Crdt_core.Replica_id.of_int id; neighbors; x = C.bottom; work = 0 }

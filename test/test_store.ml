@@ -1,0 +1,281 @@
+(* Unit suite for the lib/store segment log (DESIGN.md §11).
+
+   The store treats record bodies as opaque bytes, so the suite drives
+   it with plain strings and checks the format contract directly:
+
+   - roundtrip: append / roll / close / reopen preserves every delta in
+     order, across multiple segments and writer generations;
+   - checkpoint: a checkpoint resets the replay set and prunes every
+     older segment; records appended after it are replayed on top;
+   - torn tail: truncating the final record at every byte offset, and
+     flipping every bit of it, never raises and never loses any record
+     before it — recovery yields an exact prefix of what was written;
+   - crash during checkpoint: a checkpoint record torn mid-write leaves
+     the previous checkpoint and the deltas after it fully recoverable;
+   - corruption in a sealed (non-final) segment is refused loudly
+     ({!Store.Corrupt}), never silently skipped. *)
+
+module Store = Crdt_store.Store
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_deltas = Alcotest.(check (list string))
+
+(* -- scratch directories ------------------------------------------------- *)
+
+let dir_seq = ref 0
+
+let fresh_dir () =
+  incr dir_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crdtsync-test-store-%d-%d" (Unix.getpid ()) !dir_seq)
+  in
+  dir
+
+let remove_dir dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let with_dir f =
+  let dir = fresh_dir () in
+  remove_dir dir;
+  Fun.protect ~finally:(fun () -> remove_dir dir) (fun () -> f dir)
+
+let segment_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".log")
+  |> List.sort compare
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let body i = Printf.sprintf "delta-%04d-%s" i (String.make (i mod 7) 'x')
+
+(* -- roundtrip ----------------------------------------------------------- *)
+
+let test_roundtrip () =
+  with_dir (fun dir ->
+      let n = 40 in
+      let written = List.init n body in
+      (* Tiny segments force several rolls. *)
+      let store, r0 = Store.open_ ~segment_bytes:256 ~dir () in
+      check_int "fresh dir has no segments" 0 r0.Store.segments;
+      check "fresh dir has no checkpoint" true (r0.Store.checkpoint = None);
+      List.iter (Store.append_delta store) written;
+      Store.close store;
+      check "log rolled into several segments" true
+        (List.length (segment_files dir) > 1);
+      let r = Store.read ~dir in
+      check_deltas "all deltas recovered in order" written r.Store.deltas;
+      check_int "replayed_records counts them" n r.Store.replayed_records;
+      check_int "replayed_bytes sums the bodies"
+        (List.fold_left (fun a d -> a + String.length d) 0 written)
+        r.Store.replayed_bytes;
+      check_int "nothing truncated" 0 r.Store.truncated_bytes;
+      (* A second writer generation appends on top. *)
+      let store, r1 = Store.open_ ~segment_bytes:256 ~dir () in
+      check_deltas "reopen recovers the same" written r1.Store.deltas;
+      check_int "since_checkpoint resumes from the replay set" n
+        (Store.deltas_since_checkpoint store);
+      Store.append_delta store "tail";
+      Store.close store;
+      let r = Store.read ~dir in
+      check_deltas "append after reopen lands at the end"
+        (written @ [ "tail" ])
+        r.Store.deltas)
+
+(* -- checkpoint and pruning ---------------------------------------------- *)
+
+let test_checkpoint_prunes () =
+  with_dir (fun dir ->
+      let store, _ = Store.open_ ~segment_bytes:256 ~dir () in
+      List.iter (Store.append_delta store) (List.init 40 body);
+      check "several segments before the checkpoint" true
+        (List.length (segment_files dir) > 1);
+      Store.checkpoint store "STATE";
+      check_int "checkpoint prunes all older segments" 1
+        (List.length (segment_files dir));
+      check_int "checkpoint resets the delta counter" 0
+        (Store.deltas_since_checkpoint store);
+      Store.append_delta store "after-1";
+      Store.append_delta store "after-2";
+      Store.close store;
+      let r = Store.read ~dir in
+      check "checkpoint recovered" true (r.Store.checkpoint = Some "STATE");
+      check_deltas "only post-checkpoint deltas replay"
+        [ "after-1"; "after-2" ]
+        r.Store.deltas;
+      check_int "replayed_records ignores checkpointed history" 2
+        r.Store.replayed_records)
+
+(* -- torn-tail fuzz ------------------------------------------------------ *)
+
+(* A log of [n] records in one segment, returning the final segment's
+   path, its size with and without the last record, and the first n-1
+   bodies. *)
+let build_tail_log dir n =
+  let store, _ = Store.open_ ~dir () in
+  let all = List.init n body in
+  let rec go = function
+    | [] -> assert false
+    | [ last ] ->
+        let path = Filename.concat dir (List.hd (segment_files dir)) in
+        let before = file_size path in
+        Store.append_delta store last;
+        Store.close store;
+        (path, before, file_size path)
+    | d :: rest ->
+        Store.append_delta store d;
+        go rest
+  in
+  let path, before, after = go all in
+  (path, before, after, List.filteri (fun i _ -> i < n - 1) all, all)
+
+let test_torn_truncation () =
+  with_dir (fun dir ->
+      let path, before, after, prefix, _ = build_tail_log dir 6 in
+      let full = read_file path in
+      for cut = before to after - 1 do
+        write_file path (String.sub full 0 cut);
+        let r = Store.read ~dir in
+        check_deltas
+          (Printf.sprintf "truncation at %d keeps the prefix" cut)
+          prefix r.Store.deltas;
+        check_int
+          (Printf.sprintf "truncation at %d counts the torn bytes" cut)
+          (cut - before) r.Store.truncated_bytes
+      done;
+      (* A writer reopened over a torn tail drops it physically and
+         appends cleanly. *)
+      write_file path (String.sub full 0 (before + 3));
+      let store, r = Store.open_ ~dir () in
+      check_deltas "reopen over torn tail keeps the prefix" prefix
+        r.Store.deltas;
+      check_int "reopen truncates the file back" before (file_size path);
+      Store.append_delta store "fresh";
+      Store.close store;
+      check_deltas "append over the healed tail"
+        (prefix @ [ "fresh" ])
+        (Store.read ~dir).Store.deltas)
+
+let test_torn_bitflips () =
+  with_dir (fun dir ->
+      let path, before, after, prefix, all = build_tail_log dir 6 in
+      let full = read_file path in
+      for off = before to after - 1 do
+        for bit = 0 to 7 do
+          let damaged = Bytes.of_string full in
+          Bytes.set damaged off
+            (Char.chr (Char.code full.[off] lxor (1 lsl bit)));
+          write_file path (Bytes.to_string damaged);
+          let r = Store.read ~dir in
+          (* The flip may or may not kill the final record, but it must
+             never raise, never invent a record, and never damage any
+             record before it. *)
+          let ok =
+            r.Store.checkpoint = None
+            && (r.Store.deltas = prefix || r.Store.deltas = all)
+          in
+          check
+            (Printf.sprintf "bit %d at offset %d recovers a clean prefix" bit
+               off)
+            true ok
+        done
+      done)
+
+(* -- crash during checkpoint --------------------------------------------- *)
+
+let test_torn_checkpoint () =
+  with_dir (fun dir ->
+      let store, _ = Store.open_ ~dir () in
+      List.iter (Store.append_delta store) [ "d1"; "d2" ];
+      Store.checkpoint store "CKPT-A";
+      List.iter (Store.append_delta store) [ "d3"; "d4" ];
+      let path = Filename.concat dir (List.hd (segment_files dir)) in
+      let before = file_size path in
+      Store.checkpoint store "CKPT-B";
+      Store.close store;
+      let full = read_file path in
+      (* Tear the CKPT-B record at every byte offset: recovery must fall
+         back to CKPT-A plus the deltas after it. *)
+      for cut = before to String.length full - 1 do
+        write_file path (String.sub full 0 cut);
+        let r = Store.read ~dir in
+        check
+          (Printf.sprintf "cut at %d falls back to the previous checkpoint"
+             cut)
+          true
+          (r.Store.checkpoint = Some "CKPT-A");
+        check_deltas
+          (Printf.sprintf "cut at %d keeps the post-A deltas" cut)
+          [ "d3"; "d4" ] r.Store.deltas
+      done;
+      (* The intact file promotes to CKPT-B with nothing to replay. *)
+      write_file path full;
+      let r = Store.read ~dir in
+      check "intact file recovers the new checkpoint" true
+        (r.Store.checkpoint = Some "CKPT-B");
+      check_deltas "new checkpoint resets the replay set" [] r.Store.deltas)
+
+(* -- corruption outside the final segment -------------------------------- *)
+
+let test_corrupt_sealed_segment () =
+  with_dir (fun dir ->
+      let store, _ = Store.open_ ~segment_bytes:256 ~dir () in
+      List.iter (Store.append_delta store) (List.init 40 body);
+      Store.close store;
+      let segs = segment_files dir in
+      check "several segments" true (List.length segs > 1);
+      let path = Filename.concat dir (List.hd segs) in
+      let full = read_file path in
+      let damaged = Bytes.of_string full in
+      let off = String.length full / 2 in
+      Bytes.set damaged off (Char.chr (Char.code full.[off] lxor 0x40));
+      write_file path (Bytes.to_string damaged);
+      check "mid-file damage in a sealed segment raises Corrupt" true
+        (match Store.read ~dir with
+        | _ -> false
+        | exception Store.Corrupt _ -> true))
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "segment log",
+        [
+          Alcotest.test_case "roundtrip across rolls and reopens" `Quick
+            test_roundtrip;
+          Alcotest.test_case "checkpoint prunes older segments" `Quick
+            test_checkpoint_prunes;
+        ] );
+      ( "torn tail",
+        [
+          Alcotest.test_case "truncation at every offset" `Quick
+            test_torn_truncation;
+          Alcotest.test_case "bit flip at every offset" `Quick
+            test_torn_bitflips;
+        ] );
+      ( "checkpoint crash",
+        [
+          Alcotest.test_case "torn checkpoint falls back" `Quick
+            test_torn_checkpoint;
+        ] );
+      ( "sealed segments",
+        [
+          Alcotest.test_case "mid-file damage raises Corrupt" `Quick
+            test_corrupt_sealed_segment;
+        ] );
+    ]
