@@ -186,6 +186,7 @@ let write_json path ~scale ~deltas ~buffers =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"delta_kernels\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"delta_kernels\": [\n";
   List.iteri

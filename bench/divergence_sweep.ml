@@ -31,6 +31,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 module Registry = Crdt_engine.Registry
 module Trace = Crdt_engine.Trace
 
@@ -342,6 +343,7 @@ let write_json path ~scale ~seeded pair cluster =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"divergence_sweep\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"seeded\": %d,\n" seeded;
   out

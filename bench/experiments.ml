@@ -5,6 +5,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 
 (* Experiment scale.  Defaults follow the paper where affordable on one
    machine: 15-node topologies, 100 events per replica, 1000 GMap keys,

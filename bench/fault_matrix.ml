@@ -15,6 +15,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 
 module Si = Gset.Of_int
 
@@ -184,6 +185,7 @@ let write_json path ~scale cells =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"fault_matrix\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"matrix\": [\n";
   List.iteri

@@ -33,6 +33,7 @@ type node_res = {
   ticks : int;
   wall_s : float;
   p99_us : float;
+  backend : string;
   clean : bool;
 }
 
@@ -41,6 +42,8 @@ type row = {
   protocol : string;
   nodes : int;
   batch : bool;
+  domains : int;  (** codec fan-out width each replica ran with. *)
+  evloop : string;  (** readiness backend that actually ran. *)
   msgs : int;
   msgs_per_sec : float;
   bytes_per_sec : float;
@@ -54,7 +57,8 @@ let uniq = ref 0
 
 (* One cluster run: [n] replicas over Unix-domain sockets in a private
    temp directory, one domain each. *)
-let run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks =
+let run_cluster ?(domains = 1) ?(evloop = `Auto) ~crdt ~protocol ~n ~batch
+    ~ops_ticks () =
   let module S = (val Registry.find_crdt crdt) in
   let maker = Registry.find_protocol protocol in
   let module P =
@@ -93,12 +97,14 @@ let run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks =
         max_ticks = 1_000_000;
         max_wall_s = 600. (* backstop: a crashed peer must not hang the bench *);
         batch;
+        domains;
+        evloop;
       }
     in
     R.serve ~equal:S.C.equal ~digest cfg ~ops:(fun ~tick state ->
         S.serve_ops ~id ~tick state)
   in
-  let domains =
+  let workers =
     List.init n (fun id ->
         Domain.spawn (fun () ->
             match run_node id with
@@ -111,11 +117,12 @@ let run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks =
                     ticks = r.R.ticks;
                     wall_s = r.R.wall_s;
                     p99_us = r.R.tick_p99_us;
+                    backend = r.R.backend;
                     clean = r.R.clean;
                   }
             | exception e -> Error (Printexc.to_string e)))
   in
-  let results = List.map Domain.join domains in
+  let results = List.map Domain.join workers in
   (try
      Array.iter
        (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
@@ -141,6 +148,9 @@ let run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks =
     protocol;
     nodes = n;
     batch;
+    domains;
+    evloop =
+      (match nodes with r :: _ -> r.backend | [] -> "none");
     msgs;
     msgs_per_sec = float_of_int msgs /. wall;
     bytes_per_sec = float_of_int (sum (fun r -> r.wire_bytes)) /. wall;
@@ -162,7 +172,8 @@ let ratios rows =
           List.find_opt
             (fun u ->
               (not u.batch) && u.crdt = r.crdt && u.protocol = r.protocol
-              && u.nodes = r.nodes)
+              && u.nodes = r.nodes && u.domains = r.domains
+              && u.evloop = r.evloop)
             rows
         with
         | Some u ->
@@ -176,8 +187,8 @@ let print_rows rows =
   Report.table
     ~header:
       [
-        "crdt"; "protocol"; "n"; "mode"; "msgs"; "msgs/s"; "MB/s";
-        "writes/tick/peer"; "p99 tick us"; "wall s";
+        "crdt"; "protocol"; "n"; "mode"; "dom"; "evloop"; "msgs"; "msgs/s";
+        "MB/s"; "writes/tick/peer"; "p99 tick us"; "wall s";
       ]
     (List.map
        (fun r ->
@@ -186,6 +197,8 @@ let print_rows rows =
            r.protocol;
            string_of_int r.nodes;
            (if r.batch then "batched" else "no-batch");
+           string_of_int r.domains;
+           r.evloop;
            string_of_int r.msgs;
            Printf.sprintf "%.0f" r.msgs_per_sec;
            Printf.sprintf "%.2f" (r.bytes_per_sec /. 1e6);
@@ -199,8 +212,8 @@ let write_json path ~scale rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"net_throughput\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
-  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out
     "  \"note\": \"loopback unix-socket clusters, tick_ms=0 (free-running \
      loop); batched = per-peer write coalescing, no-batch = one write(2) \
@@ -210,13 +223,14 @@ let write_json path ~scale rows =
     (fun i r ->
       out
         "    {\"crdt\": %S, \"protocol\": %S, \"nodes\": %d, \"batch\": %b,\n\
+        \     \"domains\": %d, \"evloop\": %S,\n\
         \     \"messages\": %d, \"msgs_per_sec\": %.1f, \"bytes_per_sec\": \
          %.1f,\n\
         \     \"writes_per_tick_per_peer\": %.3f, \"p99_tick_us\": %.1f, \
          \"wall_s\": %.3f, \"clean\": %b}%s\n"
-        r.crdt r.protocol r.nodes r.batch r.msgs r.msgs_per_sec
-        r.bytes_per_sec r.writes_per_tick_per_peer r.p99_tick_us r.wall_s
-        r.clean
+        r.crdt r.protocol r.nodes r.batch r.domains r.evloop r.msgs
+        r.msgs_per_sec r.bytes_per_sec r.writes_per_tick_per_peer r.p99_tick_us
+        r.wall_s r.clean
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "  ],\n  \"speedup\": [\n";
@@ -273,21 +287,42 @@ let run ?(quick = false) ?json_path () =
         List.map
           (fun batch ->
             best_of trials (fun () ->
-                run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks))
+                run_cluster ~crdt ~protocol ~n ~batch ~ops_ticks ()))
           [ true; false ])
       cells
   in
-  print_rows rows;
+  (* Sharded sweep: the headline cell, batched, at codec fan-out widths
+     1/2/4, plus an explicit select run to pin epoll vs select.  The
+     widths all move identical bytes (the lockstep byte-equality test
+     pins that); this sweep records what the fan-out does to
+     throughput. *)
+  let sh_crdt, sh_protocol, sh_n =
+    if quick then ("gset", "delta-bp+rr", 2) else ("gset", "delta-bp+rr", 4)
+  in
+  let sharded =
+    List.map
+      (fun domains ->
+        best_of trials (fun () ->
+            run_cluster ~domains ~crdt:sh_crdt ~protocol:sh_protocol ~n:sh_n
+              ~batch:true ~ops_ticks ()))
+      [ 1; 2; 4 ]
+  in
+  let select_row =
+    best_of trials (fun () ->
+        run_cluster ~evloop:`Select ~crdt:sh_crdt ~protocol:sh_protocol
+          ~n:sh_n ~batch:true ~ops_ticks ())
+  in
+  let all_rows = rows @ sharded @ [ select_row ] in
+  print_rows all_rows;
   let rs = ratios rows in
   List.iter
     (fun ((crdt, protocol, nodes), ratio) ->
       Report.note "%s/%s n=%d: batched/unbatched msgs/sec = %.2fx" crdt
         protocol nodes ratio)
     rs;
-  (match json_path with
-  | None -> ()
-  | Some path ->
-      write_json path ~scale:(if quick then "quick" else "default") rows);
+  (* Both gates run BEFORE the JSON lands: a violating sweep must fail
+     the run, not publish rows a later reader would take at face
+     value. *)
   let best = List.fold_left (fun acc (_, r) -> Float.max acc r) 0. rs in
   (* Quick cells finish in tens of milliseconds, so even best-of-3 draws
      a few percent of scheduler noise on a loaded host; a ratio just
@@ -301,4 +336,59 @@ let run ?(quick = false) ?json_path () =
          "net_throughput: batched path regressed below the unbatched \
           baseline on every cell (best ratio %.2f < %.2f)"
          best floor)
-  else Report.note "best batched/unbatched ratio: %.2fx" best
+  else Report.note "best batched/unbatched ratio: %.2fx" best;
+  (* Sharded gate, keyed off the recorded host core count (the same
+     figure the JSON's host header carries).  On one core the fan-out
+     cannot win, so the requirement is bounded overhead: every sharded
+     row within the 0.9 noise floor of domains=1 (the fanout_min
+     granularity threshold is what keeps this honest).  With 4+ cores
+     the requirement is actual scaling: >= 2x messages/sec from 1 to 4
+     domains.  In between, only the floor applies. *)
+  let cores = Report.host_cores () in
+  (match sharded with
+  | base :: rest ->
+      List.iter
+        (fun r ->
+          let ratio = r.msgs_per_sec /. Float.max 1e-9 base.msgs_per_sec in
+          Report.note "sharded %s/%s n=%d domains=%d (%s): %.2fx vs domains=1"
+            r.crdt r.protocol r.nodes r.domains r.evloop ratio;
+          if ratio < 0.9 then
+            failwith
+              (Printf.sprintf
+                 "net_throughput: domains=%d regressed to %.2fx of the \
+                  domains=1 throughput (floor 0.90) on %d core(s)"
+                 r.domains ratio cores))
+        rest;
+      if cores >= 4 then (
+        match List.find_opt (fun r -> r.domains = 4) rest with
+        | Some r4 ->
+            let ratio = r4.msgs_per_sec /. Float.max 1e-9 base.msgs_per_sec in
+            if ratio < 2.0 then
+              failwith
+                (Printf.sprintf
+                   "net_throughput: %d cores available but domains=4 \
+                    reached only %.2fx of domains=1 (target >= 2x)"
+                   cores ratio)
+        | None -> ())
+      else
+        Report.note
+          "host has %d core(s): the >=2x scaling target at domains=4 needs \
+           4+ cores; only the regression floor applies here"
+          cores
+  | [] -> ());
+  let sel_ratio =
+    match sharded with
+    | base :: _ when base.evloop <> select_row.evloop ->
+        Some (select_row.msgs_per_sec /. Float.max 1e-9 base.msgs_per_sec)
+    | _ -> None
+  in
+  (match sel_ratio with
+  | Some r ->
+      Report.note "select/%s msgs/sec ratio at domains=1: %.2fx"
+        (match sharded with base :: _ -> base.evloop | [] -> "?")
+        r
+  | None -> ());
+  match json_path with
+  | None -> ()
+  | Some path ->
+      write_json path ~scale:(if quick then "quick" else "default") all_rows

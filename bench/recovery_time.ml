@@ -243,6 +243,7 @@ let write_json path ~scale rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"recovery_time\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"segment_bytes\": %d,\n" segment_bytes;
   out

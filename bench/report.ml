@@ -30,6 +30,28 @@ let table ~header rows =
     (String.make (List.fold_left ( + ) (2 * (cols - 1)) widths) '-');
   List.iter print_row rows
 
+(* Host identity stamped into every BENCH_*.json: gates that select
+   their acceptance condition by the recorded core count (and readers
+   comparing artifacts across machines) need the provenance in the
+   artifact itself, not in whoever remembers which box ran it. *)
+let host_os () =
+  let uname () =
+    try
+      let ic = Unix.open_process_in "uname -sr 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> Some line
+      | _ | (exception Unix.Unix_error _) -> None
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  match uname () with Some s -> s | None -> Sys.os_type
+
+let host_cores () = Domain.recommended_domain_count ()
+
+let host_json () =
+  Printf.sprintf {|{"cores": %d, "os": %S, "ocaml_version": %S}|}
+    (host_cores ()) (host_os ()) Sys.ocaml_version
+
 let f2 x = Printf.sprintf "%.2f" x
 let f1 x = Printf.sprintf "%.1f" x
 let pct x = Printf.sprintf "%.1f%%" (100. *. x)

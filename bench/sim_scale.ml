@@ -23,6 +23,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 
 let wall f =
   let t0 = Unix.gettimeofday () in
@@ -514,6 +515,7 @@ let write_json path ~scale all_rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"sim_scale\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"baseline\": \"pre-PR stack (list-queue runner + uncached delta \
        protocol + merge-walk map lattice), vendored at the seed revision\",\n";

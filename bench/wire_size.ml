@@ -19,6 +19,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 
 type row = {
   crdt : string;
@@ -135,6 +136,7 @@ let write_json path ~scale rows =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n  \"bench\": \"wire_size\",\n  \"schema\": 1,\n";
+  out "  \"host\": %s,\n" (Report.host_json ());
   out "  \"scale\": %S,\n" scale;
   out "  \"accounting\": \"exact framed wire bytes (lib/wire codecs)\",\n";
   out "  \"sweep\": [\n";

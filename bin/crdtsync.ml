@@ -50,8 +50,24 @@ let domains_arg =
     value & opt int 1
     & info [ "domains"; "d" ] ~docv:"D"
         ~doc:
-          "Worker domains for the simulation engine (1 = sequential). Any \
+          "Worker domains for the parallel engine (1 = sequential). Any \
            value yields bit-identical results; speedups need as many cores.")
+
+(* Shared --domains validation (micro, retwis, serve): a non-positive
+   width is an error; oversubscribing the machine is legal (results are
+   width-independent) but earns a warning since it can only slow the
+   run down. *)
+let validate_domains domains =
+  if domains < 1 then
+    invalid_arg (Printf.sprintf "--domains must be >= 1 (got %d)" domains);
+  let cores = Domain.recommended_domain_count () in
+  if domains > cores then
+    Printf.eprintf
+      "warning: --domains %d exceeds this machine's %d available core%s; \
+       results are identical but expect no speedup\n\
+       %!"
+      domains cores
+      (if cores = 1 then "" else "s")
 
 (* -- fault flags (micro and retwis) ------------------------------------- *)
 
@@ -309,6 +325,7 @@ let micro_metrics_json ~crdt ~topology ~nodes ~rounds outcomes =
 let run_micro crdt topology nodes rounds k domains faults bytes trace_out
     metrics_out only_protocols =
   try
+    validate_domains domains;
     let topo = Topology.of_name topology nodes in
     Printf.printf "%s on %s (%d nodes, %d rounds)\n\n" crdt topology nodes
       rounds;
@@ -405,6 +422,7 @@ let micro_cmd =
 
 let run_retwis zipf users topology nodes rounds domains faults bytes =
   try
+    validate_domains domains;
     let topo = Topology.of_name topology nodes in
     Printf.printf
       "retwis: %d users, zipf %.2f, %s topology (%d nodes), %d rounds\n\
@@ -507,9 +525,10 @@ let parse_peer s =
   | None -> invalid_arg (Printf.sprintf "--peer wants ID=ADDR, got %S" s)
 
 let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
-    max_ticks lockstep no_batch data_dir checkpoint_every fsync state_out
-    metrics_out trace_out verbose =
+    max_ticks lockstep no_batch domains evloop fanout_min data_dir
+    checkpoint_every fsync state_out metrics_out trace_out verbose =
   try
+    validate_domains domains;
     let module S = (val Registry.find_crdt crdt) in
     (match S.excluded protocol with
     | Some reason ->
@@ -578,6 +597,9 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
         max_ticks;
         lockstep;
         batch = not no_batch;
+        domains;
+        evloop;
+        fanout_min;
         verbose;
       }
     in
@@ -653,11 +675,11 @@ let run_serve id listen peers crdt protocol ops_ticks tick_ms quiet_ticks
         in
         write_file path
           (Printf.sprintf
-             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"exit_reason\":\"%s\",\"writes\":%d,\"wall_s\":%.6f,\"tick_p99_us\":%.1f%s,\"totals\":%s}\n"
+             "{\"cmd\":\"serve\",\"crdt\":\"%s\",\"protocol\":\"%s\",\"node\":%d,\"ticks\":%d,\"clean\":%b,\"exit_reason\":\"%s\",\"writes\":%d,\"wall_s\":%.6f,\"tick_p99_us\":%.1f,\"domains\":%d,\"evloop\":\"%s\"%s,\"totals\":%s}\n"
              crdt protocol id res.R.ticks res.R.clean
              (Crdt_net.Runtime.stop_reason_name res.R.stop)
-             res.R.writes res.R.wall_s res.R.tick_p99_us recovery_json
-             (counters_totals_json res.R.counters)));
+             res.R.writes res.R.wall_s res.R.tick_p99_us domains res.R.backend
+             recovery_json (counters_totals_json res.R.counters)));
     if res.R.clean then 0 else 1
   with
   | Invalid_argument msg | Failure msg ->
@@ -745,6 +767,37 @@ let serve_cmd =
              (the pre-batching data path), for throughput comparison. \
              Wire bytes are identical either way.")
   in
+  let evloop =
+    let evloop_conv =
+      Arg.conv
+        ( (fun s ->
+            match Crdt_net.Evloop_epoll.choice_of_string s with
+            | Ok c -> Ok c
+            | Error m -> Error (`Msg m)),
+          fun ppf c ->
+            Format.pp_print_string ppf
+              (Crdt_net.Evloop_epoll.choice_to_string c) )
+    in
+    Arg.(
+      value & opt evloop_conv `Auto
+      & info [ "evloop" ] ~docv:"BACKEND"
+          ~doc:
+            "Readiness backend: $(b,select) (portable), $(b,epoll) (Linux), \
+             or $(b,auto) (epoll where available).  Observable behaviour — \
+             wire bytes, lockstep rounds — is identical either way.")
+  in
+  let fanout_min =
+    Arg.(
+      value
+      & opt int (Crdt_net.Runtime.default_config ~id:0
+                   ~listen:(Crdt_net.Addr.Tcp ("127.0.0.1", 0)) ~peers:[]
+                   ~total:1).Crdt_net.Runtime.fanout_min
+      & info [ "fanout-min" ] ~docv:"N"
+          ~doc:
+            "Minimum protocol messages in a pass before codec work fans out \
+             to the --domains pool; smaller passes stay inline (tuning \
+             knob, mostly for tests).")
+  in
   let data_dir =
     Arg.(
       value & opt (some string) None
@@ -787,9 +840,9 @@ let serve_cmd =
        ~doc:"Run one live replica over real sockets (lib/net runtime)")
     Term.(
       const run_serve $ id $ listen $ peers $ crdt $ protocol $ ops $ tick_ms
-      $ quiet_ticks $ max_ticks $ lockstep $ no_batch $ data_dir
-      $ checkpoint_every $ fsync $ state_out $ metrics_out_arg
-      $ trace_out_arg $ verbose)
+      $ quiet_ticks $ max_ticks $ lockstep $ no_batch $ domains_arg $ evloop
+      $ fanout_min $ data_dir $ checkpoint_every $ fsync $ state_out
+      $ metrics_out_arg $ trace_out_arg $ verbose)
 
 (* -- partition ---------------------------------------------------------- *)
 

@@ -7,6 +7,7 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 module H = Harness.Make (Gset.Of_int)
 
 let experiment topo =

@@ -13,6 +13,13 @@
 
 open Crdt_core
 
+(** The shape in which every workload source feeds the engine: the
+    operations node [node] applies at the start of [round], reading its
+    local [state].  The simulator's [ops] argument, the serve loop's
+    per-tick generator and the Retwis generator all flow through this
+    one type, so a workload written against it runs on any transport. *)
+type ('state, 'op) gen = round:int -> node:int -> 'state -> 'op list
+
 (** Globally unique element for (round, node): rounds × nodes never
     collide. *)
 let gset ~nodes:n ~round ~node _state : Gset.Of_int.op list =

@@ -2,18 +2,28 @@
 
     Each node performs one periodic event per round: a unique-element
     addition (GSet), a single increment (GCounter), or a block of key
-    updates covering K/N % of the key space (GMap K%). *)
+    updates covering K/N % of the key space (GMap K%).
+
+    This is the one home of workload definitions: the simulator, the
+    serve loop and domain-specific generators (Retwis) all produce or
+    consume the {!gen} shape. *)
 
 open Crdt_core
 
-val gset : nodes:int -> round:int -> node:int -> 'state -> Gset.Of_int.op list
+type ('state, 'op) gen = round:int -> node:int -> 'state -> 'op list
+(** The shape in which every workload source feeds the engine: the
+    operations node [node] applies at the start of [round], reading its
+    local [state].  The simulator passes a [gen] straight to
+    [Runner.run ~ops]; serve adapts one per tick; Retwis exposes its
+    generator as a [gen] over its store. *)
+
+val gset : nodes:int -> ('state, Gset.Of_int.op) gen
 (** Addition of a globally unique element (rounds × nodes never
     collide). *)
 
-val gcounter : round:int -> node:int -> 'state -> Gcounter.op list
+val gcounter : ('state, Gcounter.op) gen
 
-val gset_contended :
-  pool:int -> round:int -> node:int -> 'state -> Gset.Of_int.op list
+val gset_contended : pool:int -> ('state, Gset.Of_int.op) gen
 (** Adds drawn round-robin from a small pool so most of them re-add
     present elements — the δ-mutator-optimality ablation workload. *)
 
@@ -25,13 +35,7 @@ val gmap_keys :
     interval. *)
 
 val gmap :
-  total_keys:int ->
-  k:int ->
-  nodes:int ->
-  round:int ->
-  node:int ->
-  'state ->
-  Gmap.Versioned.op list
+  total_keys:int -> k:int -> nodes:int -> ('state, Gmap.Versioned.op) gen
 
 (** Default experiment scale, matching the paper's micro-benchmarks. *)
 module Defaults : sig

@@ -12,6 +12,8 @@ module type BACKEND = sig
 
   val wait :
     t -> timeout:float -> Unix.file_descr list * Unix.file_descr list
+
+  val close : t -> unit
 end
 
 module Select : BACKEND = struct
@@ -89,13 +91,17 @@ module Select : BACKEND = struct
     match Unix.select t.read_fds t.write_fds [] timeout with
     | r, w, _ -> (r, w)
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+
+  let close _ = ()
 end
 
 type t = Loop : (module BACKEND with type t = 'a) * 'a -> t
 
+let make (module B : BACKEND) = Loop ((module B), B.create ())
 let create () = Loop ((module Select), Select.create ())
 let backend_name (Loop ((module B), _)) = B.name
 let add (Loop ((module B), s)) ?read fd = B.add s ?read fd
 let remove (Loop ((module B), s)) fd = B.remove s fd
 let set_write (Loop ((module B), s)) fd want = B.set_write s fd want
 let wait (Loop ((module B), s)) ~timeout = B.wait s ~timeout
+let close (Loop ((module B), s)) = B.close s

@@ -17,10 +17,11 @@
       connection has queued outbound bytes (edge registration churn is
       cheap: a no-op toggle does not dirty the backend state).
 
-    Only the portable [select] backend exists today; it is the right
-    choice for the cluster sizes the tests and benches run (≤ tens of
-    fds), and the seam is where [epoll]/[kqueue] land when fd counts
-    grow past what [select]'s O(fds) scan tolerates. *)
+    Two backends exist: the portable [select] backend here (the right
+    floor for clusters of ≤ tens of fds) and the Linux [epoll] backend
+    in [Evloop_epoll], which drops in behind {!make} and removes the
+    O(fds) scan once fd counts grow.  The runtime picks one per
+    [--evloop select|epoll|auto]. *)
 
 (** A pluggable readiness backend.  Implementations must tolerate
     idempotent calls: adding a registered fd, removing an unknown one,
@@ -50,6 +51,10 @@ module type BACKEND = sig
     t -> timeout:float -> Unix.file_descr list * Unix.file_descr list
   (** Block up to [timeout] seconds; returns [(readable, writable)].
       [EINTR] yields [([], [])]. *)
+
+  val close : t -> unit
+  (** Release backend resources (the epoll instance fd; a no-op for
+      select).  The loop must not be used afterwards. *)
 end
 
 module Select : BACKEND
@@ -59,12 +64,17 @@ module Select : BACKEND
 
 type t
 
+val make : (module BACKEND) -> t
+(** An event loop over an explicit backend (how [Evloop_epoll] plugs
+    in without a dependency cycle). *)
+
 val create : unit -> t
-(** An event loop over the best available backend (currently always
-    {!Select}). *)
+(** An event loop over the portable {!Select} backend.  Callers that
+    want epoll-where-available go through [Evloop_epoll.loop]. *)
 
 val backend_name : t -> string
 val add : t -> ?read:bool -> Unix.file_descr -> unit
 val remove : t -> Unix.file_descr -> unit
 val set_write : t -> Unix.file_descr -> bool -> unit
 val wait : t -> timeout:float -> Unix.file_descr list * Unix.file_descr list
+val close : t -> unit

@@ -1,0 +1,33 @@
+(** Linux epoll backend for the {!Evloop} seam, plus the backend
+    choice the CLI exposes as [--evloop select|epoll|auto].
+
+    The backend keeps select-equal observable behaviour so the runtime
+    is byte-identical under either loop:
+
+    - level-triggered registration, mirroring select's semantics (a
+      readable fd keeps reporting until drained);
+    - an [interests] mirror of the kernel table gives the idempotency
+      the BACKEND contract demands without extra syscalls, and filters
+      [epoll]'s ERR/HUP reporting down to the fds select would surface;
+    - sub-millisecond timeouts round {e up} to 1 ms so a short poll
+      never becomes a busy spin.
+
+    On non-Linux platforms the C stubs report {!available}[ () = false]
+    and [`Auto] falls back to the portable select backend. *)
+
+val available : unit -> bool
+(** [true] iff this build carries a working epoll (Linux). *)
+
+module Epoll : Evloop.BACKEND
+(** The epoll backend.  [create] fails if {!available} is [false]. *)
+
+type choice = [ `Select | `Epoll | `Auto ]
+(** CLI-selectable backend: [`Auto] means epoll where available,
+    select otherwise. *)
+
+val choice_of_string : string -> (choice, string) result
+val choice_to_string : choice -> string
+
+val loop : choice -> Evloop.t
+(** Build an event loop for [choice].  [`Epoll] on a platform without
+    epoll fails; [`Auto] never does. *)

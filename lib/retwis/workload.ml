@@ -88,8 +88,9 @@ let raw_ops t ~round ~node ~followers_of ~timeline_of :
   end
 
 (** Specialization of {!raw_ops} reading from a whole-database
-    {!Store.t} replica. *)
-let ops t ~round ~node (db : Store.t) : Store.op list =
+    {!Store.t} replica, in the engine's workload-generator shape. *)
+let ops t : (Store.t, Store.op) Crdt_engine.Workload.gen =
+ fun ~round ~node (db : Store.t) ->
   raw_ops t ~round ~node
     ~followers_of:(fun user -> Store.followers_of user db)
     ~timeline_of:(fun user -> ignore (Store.timeline_of user db))
@@ -98,8 +99,9 @@ let ops t ~round ~node (db : Store.t) : Store.op list =
 (** Specialization of {!raw_ops} reading from a sharded per-user replica
     (an association of user id to {!User_state.t}, as produced by
     [Crdt_proto.Sharded]). *)
-let ops_sharded t ~round ~node (objects : (int * User_state.t) list) :
-    (int * User_state.op) list =
+let ops_sharded t :
+    ((int * User_state.t) list, int * User_state.op) Crdt_engine.Workload.gen =
+ fun ~round ~node (objects : (int * User_state.t) list) ->
   let find user =
     match List.assoc_opt user objects with
     | Some st -> st

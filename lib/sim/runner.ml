@@ -8,12 +8,16 @@
     exchange) are processed in waves until the network drains.
 
     The per-replica state machine (apply → tick → ship → handle →
-    crash/recover) lives in {!Crdt_engine.Driver}; this module is the
-    {e transport}: wave scheduling, topology routing, fault injection and
-    the domain pool.  All accounting flows through the drivers'
-    {!Crdt_engine.Trace} sinks — one counting sink per shard becomes the
-    {!Metrics.round} records, and [run ?sink] can attach a user sink
-    (e.g. the JSONL trace writer) on top.
+    crash/recover) lives in {!Crdt_engine.Driver}, and since the shard
+    scheduler moved into the engine the {e parallel execution} — the
+    Domain pool, tick-by-source / handle-by-destination partitioning,
+    per-shard counting sinks and the deterministic shard-order outbox
+    merge — lives in {!Crdt_engine.Shard}.  This module is the
+    simulator-specific transport on top of it: round structure,
+    topology routing and fault injection.  All accounting flows through
+    the shards' {!Crdt_engine.Trace} sinks — the shard counters become
+    the {!Metrics.round} records, and [run ?sink] can attach a user
+    sink (e.g. the JSONL trace writer) on top.
 
     {2 Fault injection}
 
@@ -37,24 +41,17 @@
     [(round, src, dst)]; a message released from a delay is delivered
     unconditionally (its fault checks ran when it was captured).
 
-    {2 Engine}
+    {2 Determinism}
 
-    Delivery is organized as {e waves} of per-destination inboxes: a
-    wave handles every pending message, grouped by destination, and the
-    replies form the next wave.  Since message handling only ever
-    touches the destination's driver, the destinations of one wave are
-    mutually independent, which gives both the allocation-light
-    sequential path (growable array buffers instead of list appends,
-    mutable per-shard counters folded into a {!Metrics.round} once per
-    round) and a race-free parallel mode: a fixed {!Pool} of domains
-    shards the node range, and shard [s] owns nodes [s·n/W .. (s+1)·n/W)
-    for ticking, delivery and memory snapshots alike.  Fault randomness
-    is drawn from per-destination PRNG streams (seeded from
-    [fault_plan.seed] and the destination id), partition/delay/crash
-    decisions are deterministic in [(round, src, dst)], and per-shard
-    counters are merged in shard order, so for a fixed seed the parallel
-    engine is bit-identical to the sequential one at every [domains]
-    setting.
+    Fault randomness is drawn from per-destination PRNG streams (seeded
+    from [fault_plan.seed] and the destination id), partition/delay/
+    crash decisions are deterministic in [(round, src, dst)], and the
+    shared scheduler merges per-shard output in shard order, so for a
+    fixed seed the parallel engine is bit-identical to the sequential
+    one at every [domains] setting.  Fault-free waves ride the engine's
+    own {!Crdt_engine.Shard.Make.deliver_wave}; runs with faults keep
+    the per-destination fault logic here, executed on the same pool via
+    [run_shards].
 
     After the measured rounds, the runner performs quiescent
     synchronization rounds (no further operations) until all replicas
@@ -62,9 +59,12 @@
     experiment doubles as a correctness check. *)
 
 module Trace = Crdt_engine.Trace
+module Dynbuf = Crdt_engine.Dynbuf
+module Pool = Crdt_engine.Shard.Pool
 
 module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
-  module D = Crdt_engine.Driver.Make (P)
+  module Sh = Crdt_engine.Shard.Make (P)
+  module D = Sh.D
 
   type result = {
     rounds : Metrics.round array;  (** one record per measured round. *)
@@ -95,10 +95,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
 
   type engine = {
     n : int;
-    shards : int;
     total_rounds : int;  (** measured rounds; the fault schedule ends here. *)
-    drivers : D.t array;
-    pool : Pool.t;
+    sh : Sh.t;  (** the shared sharded scheduler (drivers, pool, sinks). *)
     faults : fault_plan;
     rng_faults : bool;
         (** whether duplicate/drop/shuffle consult the PRNG streams. *)
@@ -118,49 +116,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     released : (int * P.message) Dynbuf.t array;
         (** per-destination [(src, msg)] due this round, delivered in
             the first wave without further fault checks. *)
-    inbox : (int * P.message) Dynbuf.t array;
-        (** per-destination [(src, msg)] pending this wave. *)
-    out : (int * (int * P.message)) Dynbuf.t array;
-        (** per-shard [(dst, (src, msg))] produced this wave, in
-            production order. *)
-    counters : Trace.counters array;  (** per-shard tallies. *)
-    sinks : Trace.sink array;
-        (** per-shard sink: the shard's counting sink, teed with the
-            user sink when one was supplied. *)
     mutable now : int;  (** current round (measured and quiescent). *)
   }
-
-  (* Shard [s] owns the contiguous node range [lo s, hi s): contiguity
-     makes the shard-order merge of outboxes equal to the ascending
-     producing-node order the sequential engine uses, which is what
-     keeps per-destination message order independent of the domain
-     count. *)
-  let lo eng s = s * eng.n / eng.shards
-  let hi eng s = (s + 1) * eng.n / eng.shards
-
-  (* Tick phase: shard-local; messages go to the shard's outbox.
-     Crashed nodes are dark — the driver does not tick them. *)
-  let tick_shard eng s =
-    let out = eng.out.(s) in
-    let round = eng.now in
-    for i = lo eng s to hi eng s - 1 do
-      D.tick eng.drivers.(i) ~round ~emit:(fun ~dest msg ->
-          Dynbuf.push out (dest, (i, msg)))
-    done
-
-  (* Route every outbox entry to its destination inbox.  Sequential, in
-     shard order; returns whether anything is pending. *)
-  let route eng =
-    let any = ref false in
-    Array.iter
-      (fun out ->
-        if not (Dynbuf.is_empty out) then begin
-          any := true;
-          Dynbuf.iter (fun (dst, payload) -> Dynbuf.push eng.inbox.(dst) payload) out;
-          Dynbuf.clear out
-        end)
-      eng.out;
-    !any
 
   (* An active partition cuts src → d this round iff some partition
      window covers [now] and puts them on different islands. *)
@@ -182,19 +139,19 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     else Hashtbl.find_opt eng.delay ((src * eng.n) + dst)
 
   (* Handle one wave of destination [d]'s inbox plus any delay releases
-     due this round (shard-local: only [drivers.(d)] and shard-owned
+     due this round (shard-local: only [d]'s driver and shard-owned
      buffers are touched).  Fault decisions (drop/hold/cut) are the
      transport's to make, so they are reported here; accepted messages
      go through the driver, which does the delivery accounting. *)
   let deliver_dst eng s d =
-    let inb = eng.inbox.(d) in
+    let inb = Sh.inbox eng.sh d in
     let rel = eng.released.(d) in
     let len = Dynbuf.length inb in
     let rlen = Dynbuf.length rel in
     if len > 0 || rlen > 0 then begin
-      let snk = eng.sinks.(s) in
-      let out = eng.out.(s) in
-      let drv = eng.drivers.(d) in
+      let snk = Sh.sink eng.sh ~shard:s in
+      let out = Sh.outbox eng.sh ~shard:s in
+      let drv = Sh.driver eng.sh d in
       let round = eng.now in
       let emit ~dest msg = Dynbuf.push out (dest, (d, msg)) in
       if D.down drv then begin
@@ -221,51 +178,43 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
           Dynbuf.clear rel
         end;
         if len > 0 then begin
-          if eng.rng_faults || eng.adversity then begin
-            let f = eng.faults in
-            if eng.rng_faults && f.shuffle then
-              Dynbuf.shuffle ~rng:eng.rngs.(d) inb;
-            for k = 0 to len - 1 do
-              let src, msg = Dynbuf.get inb k in
-              (* Deterministic checks (partition, delay) come first so
-                 the per-destination PRNG draw sequence is a function of
-                 the surviving message sequence only. *)
-              if cut eng ~src ~dst:d then snk.cut ~node:d ~src ~round
-              else
-                match delay_of eng ~src ~dst:d with
-                | Some hold ->
-                    snk.hold ~node:d ~src ~round;
-                    Dynbuf.push eng.held.(d) (round + hold, src, msg)
-                | None ->
-                    let dropped =
-                      eng.rng_faults && f.drop > 0.
-                      && Random.State.float eng.rngs.(d) 1. < f.drop
+          let f = eng.faults in
+          if eng.rng_faults && f.shuffle then
+            Dynbuf.shuffle ~rng:eng.rngs.(d) inb;
+          for k = 0 to len - 1 do
+            let src, msg = Dynbuf.get inb k in
+            (* Deterministic checks (partition, delay) come first so
+               the per-destination PRNG draw sequence is a function of
+               the surviving message sequence only. *)
+            if cut eng ~src ~dst:d then snk.cut ~node:d ~src ~round
+            else
+              match delay_of eng ~src ~dst:d with
+              | Some hold ->
+                  snk.hold ~node:d ~src ~round;
+                  Dynbuf.push eng.held.(d) (round + hold, src, msg)
+              | None ->
+                  let dropped =
+                    eng.rng_faults && f.drop > 0.
+                    && Random.State.float eng.rngs.(d) 1. < f.drop
+                  in
+                  if dropped then snk.drop ~node:d ~src ~round
+                  else
+                    let copies =
+                      if
+                        eng.rng_faults && f.duplicate > 0.
+                        && Random.State.float eng.rngs.(d) 1. < f.duplicate
+                      then 2
+                      else 1
                     in
-                    if dropped then snk.drop ~node:d ~src ~round
-                    else
-                      let copies =
-                        if
-                          eng.rng_faults && f.duplicate > 0.
-                          && Random.State.float eng.rngs.(d) 1. < f.duplicate
-                        then 2
-                        else 1
-                      in
-                      D.deliver drv ~round ~src ~copies ~emit msg
-            done
-          end
-          else
-            (* Fault-free fast path: no PRNG, one delivery per message. *)
-            for k = 0 to len - 1 do
-              let src, msg = Dynbuf.get inb k in
-              D.deliver drv ~round ~src ~emit msg
-            done;
+                    D.deliver drv ~round ~src ~copies ~emit msg
+          done;
           Dynbuf.clear inb
         end
       end
     end
 
   let deliver_shard eng s =
-    for d = lo eng s to hi eng s - 1 do
+    for d = Sh.lo eng.sh s to Sh.hi eng.sh s - 1 do
       deliver_dst eng s d
     done
 
@@ -279,8 +228,8 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       List.iter
         (fun (i, ev) ->
           match ev with
-          | `Recover -> D.recover eng.drivers.(i) ~round
-          | `Crash -> D.crash eng.drivers.(i) ~round)
+          | `Recover -> D.recover (Sh.driver eng.sh i) ~round
+          | `Crash -> D.crash (Sh.driver eng.sh i) ~round)
         eng.events.(round);
     Array.iteri
       (fun d buf ->
@@ -297,66 +246,49 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
       eng.held
 
   (* One synchronization round: tick every live node, then drain the
-     network wave by wave (each Pool.run is a barrier between waves).
-     The first wave also delivers the delay releases of this round, so
-     it must run even when ticking produced nothing. *)
+     network wave by wave (each pool barrier separates waves).  The
+     first wave also delivers the delay releases of this round, so it
+     must run even when ticking produced nothing.  Without faults the
+     waves are the engine's own; with faults the per-destination fault
+     logic above runs on the same pool. *)
   let sync_round eng =
-    Pool.run eng.pool (tick_shard eng);
+    Sh.tick eng.sh ~round:eng.now;
+    let deliver () =
+      if eng.rng_faults || eng.adversity then
+        Sh.run_shards eng.sh (deliver_shard eng)
+      else Sh.deliver_wave eng.sh ~round:eng.now
+    in
     let any_released =
       Array.exists (fun b -> not (Dynbuf.is_empty b)) eng.released
     in
-    if route eng || any_released then Pool.run eng.pool (deliver_shard eng);
-    while route eng do
-      Pool.run eng.pool (deliver_shard eng)
+    if Sh.route eng.sh || any_released then deliver ();
+    while Sh.route eng.sh do
+      deliver ()
     done
 
   (* Post-round memory snapshot (parallel per-shard sums) plus the fold
      of all shard counters into the round record. *)
   let finish_round eng ~ops_applied : Metrics.round =
-    Pool.run eng.pool (fun s ->
-        let c = eng.counters.(s) in
-        let w = ref 0 and b = ref 0 and mb = ref 0 in
-        for i = lo eng s to hi eng s - 1 do
-          let drv = eng.drivers.(i) in
-          w := !w + D.memory_weight drv;
-          b := !b + D.memory_bytes drv;
-          mb := !mb + D.metadata_memory_bytes drv
-        done;
-        c.memory_weight <- !w;
-        c.memory_bytes <- !b;
-        c.metadata_memory_bytes <- !mb);
-    let r =
-      Array.fold_left
-        (fun (r : Metrics.round) (c : Trace.counters) ->
-          {
-            r with
-            messages = r.messages + c.messages;
-            payload = r.payload + c.payload;
-            metadata = r.metadata + c.metadata;
-            payload_bytes = r.payload_bytes + c.payload_bytes;
-            metadata_bytes = r.metadata_bytes + c.metadata_bytes;
-            wire_bytes = r.wire_bytes + c.wire_bytes;
-            memory_weight = r.memory_weight + c.memory_weight;
-            memory_bytes = r.memory_bytes + c.memory_bytes;
-            metadata_memory_bytes =
-              r.metadata_memory_bytes + c.metadata_memory_bytes;
-            dropped = r.dropped + c.dropped;
-            held = r.held + c.held;
-            partitioned = r.partitioned + c.partitioned;
-            (* Per-shard counters are reset every round, so each shard
-               contributes 0 or 1; the round-level flag is their OR. *)
-            sync_rounds = min 1 (r.sync_rounds + c.sync_rounds);
-            digest_bytes = r.digest_bytes + c.digest_bytes;
-          })
-        { Metrics.empty_round with ops_applied }
-        eng.counters
-    in
-    Array.iter Trace.reset_counters eng.counters;
-    r
-
-  let all_equal ~equal drivers =
-    let first = D.state drivers.(0) in
-    Array.for_all (fun drv -> equal (D.state drv) first) drivers
+    Sh.snapshot_memory eng.sh;
+    let c = Sh.total_counters eng.sh in
+    Sh.reset_counters eng.sh;
+    {
+      Metrics.messages = c.messages;
+      payload = c.payload;
+      metadata = c.metadata;
+      payload_bytes = c.payload_bytes;
+      metadata_bytes = c.metadata_bytes;
+      wire_bytes = c.wire_bytes;
+      memory_weight = c.memory_weight;
+      memory_bytes = c.memory_bytes;
+      metadata_memory_bytes = c.metadata_memory_bytes;
+      ops_applied;
+      dropped = c.dropped;
+      held = c.held;
+      partitioned = c.partitioned;
+      sync_rounds = c.sync_rounds;
+      digest_bytes = c.digest_bytes;
+    }
 
   (** Run a simulation.
 
@@ -391,7 +323,6 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
     Pool.with_pool domains (fun pool ->
         let rng_faults = Fault.rng_active faults in
         let adversity = Fault.structural faults in
-        let shards = Pool.size pool in
         let delay = Hashtbl.create (max 1 (List.length faults.delays)) in
         List.iter
           (fun (d : Fault.delay_rule) ->
@@ -405,36 +336,15 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             events.(c.recover_round) <-
               (c.victim, `Recover) :: events.(c.recover_round))
           faults.crashes;
-        let counters = Array.init shards (fun _ -> Trace.make_counters ()) in
-        let sinks =
-          Array.init shards (fun s ->
-              let counting = Trace.counting counters.(s) in
-              match sink with
-              | None -> counting
-              | Some user -> Trace.tee counting user)
-        in
-        (* Node → owning shard, to hand each driver its shard's sink. *)
-        let shard_of =
-          let a = Array.make n 0 in
-          for s = 0 to shards - 1 do
-            for i = s * n / shards to ((s + 1) * n / shards) - 1 do
-              a.(i) <- s
-            done
-          done;
-          a
-        in
-        let drivers =
-          Array.init n (fun i ->
-              D.create ~sink:sinks.(shard_of.(i)) ~exact_bytes ~id:i
-                ~neighbors:(Topology.neighbors topology i) ~total:n ())
+        let sh =
+          Sh.create ?sink ~exact_bytes ~pool ~n
+            ~neighbors:(Topology.neighbors topology) ()
         in
         let eng =
           {
             n;
-            shards;
             total_rounds = rounds;
-            drivers;
-            pool;
+            sh;
             faults;
             rng_faults;
             adversity;
@@ -451,13 +361,10 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
             events;
             held = Array.init n (fun _ -> Dynbuf.create ());
             released = Array.init n (fun _ -> Dynbuf.create ());
-            inbox = Array.init n (fun _ -> Dynbuf.create ());
-            out = Array.init shards (fun _ -> Dynbuf.create ());
-            counters;
-            sinks;
             now = 0;
           }
         in
+        let drivers = Sh.drivers sh in
         let measured =
           Array.init rounds (fun round ->
               begin_round eng ~round;
@@ -482,14 +389,14 @@ module Make (P : Crdt_proto.Protocol_intf.PROTOCOL) = struct
         let steps = ref 0 in
         while
           !steps < quiesce_limit
-          && ((!steps = 0 && late_events) || not (all_equal ~equal drivers))
+          && ((!steps = 0 && late_events) || not (Sh.all_equal ~equal sh))
         do
           begin_round eng ~round:(rounds + !steps);
           incr steps;
           sync_round eng;
           quiesce := finish_round eng ~ops_applied:0 :: !quiesce
         done;
-        let converged = all_equal ~equal drivers in
+        let converged = Sh.all_equal ~equal sh in
         if converged then
           Array.iter (fun drv -> D.finish drv ~round:(rounds + !steps)) drivers;
         {

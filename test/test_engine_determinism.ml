@@ -9,6 +9,9 @@
 
 open Crdt_core
 open Crdt_sim
+module Workload = Crdt_engine.Workload
+module Pool = Crdt_engine.Shard.Pool
+module Dynbuf = Crdt_engine.Dynbuf
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -131,6 +134,99 @@ let ops_applied_counted =
       check_int "summary total" 15
         (C_bprr.R.summary res).Metrics.total_ops)
 
+(* -- Shard.Make driven directly ----------------------------------------- *)
+
+(* The scheduler under the simulator's skin: tick / route / deliver_wave
+   / sync_round on a full mesh at pool widths 1, 2 and 4, with no
+   Runner on top.  Finals and the folded counters must be bit-identical
+   at every width — the same contract the Runner-level cases check, but
+   pinned at the layer serve and future transports consume. *)
+module Shard_direct = struct
+  module P = Crdt_proto.Delta_sync.Make (Si) (Crdt_proto.Delta_sync.Bp_rr_config)
+  module Sh = Crdt_engine.Shard.Make (P)
+
+  let run ~domains ~n ~rounds =
+    Pool.with_pool domains @@ fun pool ->
+    let neighbors i = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+    let sh = Sh.create ~pool ~n ~neighbors () in
+    for round = 0 to rounds - 1 do
+      Array.iteri
+        (fun i drv ->
+          ignore (Sh.D.apply drv (Workload.gset ~nodes:n ~round ~node:i ())))
+        (Sh.drivers sh);
+      Sh.sync_round sh ~round
+    done;
+    Sh.snapshot_memory sh;
+    let finals = Array.init n (Sh.state sh) in
+    let c = Sh.total_counters sh in
+    (finals, c, Sh.all_equal ~equal:Si.equal sh)
+
+  let same_counters (a : Crdt_engine.Trace.counters)
+      (b : Crdt_engine.Trace.counters) =
+    a.sent = b.sent && a.delivered = b.delivered && a.messages = b.messages
+    && a.payload_bytes = b.payload_bytes
+    && a.metadata_bytes = b.metadata_bytes
+    && a.wire_bytes = b.wire_bytes
+    && a.ops_applied = b.ops_applied
+    && a.memory_weight = b.memory_weight
+    && a.memory_bytes = b.memory_bytes
+
+  let equivalence =
+    Alcotest.test_case "tick/route/deliver: widths 1/2/4 bit-identical"
+      `Quick (fun () ->
+        let n = 7 and rounds = 5 in
+        let f1, c1, conv1 = run ~domains:1 ~n ~rounds in
+        check "width 1 converged" true conv1;
+        List.iter
+          (fun domains ->
+            let fd, cd, convd = run ~domains ~n ~rounds in
+            check
+              (Printf.sprintf "width %d converged" domains)
+              true convd;
+            check
+              (Printf.sprintf "finals identical at width %d" domains)
+              true
+              (Array.for_all2 Si.equal f1 fd);
+            check
+              (Printf.sprintf "counters identical at width %d" domains)
+              true (same_counters c1 cd))
+          [ 2; 4 ])
+
+  (* One explicit wave walked by hand: tick fills the producing shards'
+     outboxes, route drains them into destination inboxes in shard
+     order, deliver_wave empties every inbox.  This pins the phase
+     boundaries the composite sync_round hides. *)
+  let phases =
+    Alcotest.test_case "tick -> route -> deliver_wave phase contract" `Quick
+      (fun () ->
+        Pool.with_pool 2 @@ fun pool ->
+        let n = 4 in
+        let neighbors i = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+        let sh = Sh.create ~pool ~n ~neighbors () in
+        Array.iteri
+          (fun i drv ->
+            ignore (Sh.D.apply drv (Workload.gset ~nodes:n ~round:0 ~node:i ())))
+          (Sh.drivers sh);
+        Sh.tick sh ~round:0;
+        let produced = ref 0 in
+        for s = 0 to Sh.shards sh - 1 do
+          produced := !produced + Dynbuf.length (Sh.outbox sh ~shard:s)
+        done;
+        check "tick produced messages" true (!produced > 0);
+        check "route reports pending" true (Sh.route sh);
+        let pending = ref 0 in
+        for d = 0 to n - 1 do
+          pending := !pending + Dynbuf.length (Sh.inbox sh d)
+        done;
+        check_int "route moved every message" !produced !pending;
+        Sh.deliver_wave sh ~round:0;
+        let left = ref 0 in
+        for d = 0 to n - 1 do
+          left := !left + Dynbuf.length (Sh.inbox sh d)
+        done;
+        check_int "deliver_wave drained the inboxes" 0 !left)
+end
+
 (* -- substrate: Pool ---------------------------------------------------- *)
 
 let pool_tests =
@@ -228,6 +324,7 @@ let () =
       ("merkle", C_merkle.cases "merkle" (Topology.ring 5) 4);
       ( "edges",
         [ oversharded; seeded_faults_determinism; ops_applied_counted ] );
+      ("shard-direct", [ Shard_direct.equivalence; Shard_direct.phases ]);
       ("pool", pool_tests);
       ("dynbuf", dynbuf_tests);
     ]

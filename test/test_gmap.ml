@@ -113,7 +113,7 @@ let workload_tests =
         let all =
           List.concat_map
             (fun node ->
-              Crdt_sim.Workload.gmap_keys ~total_keys ~k ~nodes ~round:0 ~node)
+              Crdt_engine.Workload.gmap_keys ~total_keys ~k ~nodes ~round:0 ~node)
             (List.init nodes Fun.id)
         in
         let dedup = List.sort_uniq Int.compare all in
@@ -126,7 +126,7 @@ let workload_tests =
             let touched =
               List.concat_map
                 (fun node ->
-                  Crdt_sim.Workload.gmap_keys ~total_keys ~k ~nodes ~round:3
+                  Crdt_engine.Workload.gmap_keys ~total_keys ~k ~nodes ~round:3
                     ~node)
                 (List.init nodes Fun.id)
               |> List.sort_uniq Int.compare |> List.length

@@ -5,6 +5,7 @@
 open Crdt_core
 open Crdt_proto
 open Crdt_sim
+module Workload = Crdt_engine.Workload
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)

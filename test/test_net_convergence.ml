@@ -126,7 +126,8 @@ let scrape_int ~key json =
    when [metrics] is set, the cluster's total wire bytes as reported by
    `--metrics-out`. *)
 let run_cluster ?(protocol = "delta-bp+rr") ?(lockstep = false)
-    ?(metrics = false) ?(no_batch = false) ~crdt ~n ~ops () =
+    ?(metrics = false) ?(no_batch = false) ?(domains = 1) ?evloop ?fanout_min
+    ~crdt ~n ~ops () =
   let exe = crdtsync () in
   let dir = temp_dir () in
   Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
@@ -159,6 +160,13 @@ let run_cluster ?(protocol = "delta-bp+rr") ?(lockstep = false)
           @ (if lockstep then [ "--lockstep" ] else [])
           @ (if no_batch then [ "--no-batch" ] else [])
           @ (if metrics then [ "--metrics-out"; metrics_file i ] else [])
+          @ (if domains = 1 then [] else [ "--domains"; string_of_int domains ])
+          @ (match evloop with
+            | None -> []
+            | Some b -> [ "--evloop"; b ])
+          @ (match fanout_min with
+            | None -> []
+            | Some f -> [ "--fanout-min"; string_of_int f ])
           @ peers
         in
         let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
@@ -383,6 +391,57 @@ let cross_check ?(protocol = "delta-bp+rr") ?no_batch ~crdt ~n ~ops () =
   Alcotest.(check int) "simulator and sockets agree on total wire bytes"
     sim_bytes socket_bytes
 
+(* The parallel-engine contract over real sockets: a lockstep cluster at
+   any --domains width (codec fan-out forced on with --fanout-min 1)
+   must land on byte-identical states and the exact wire-byte total of
+   the sequential run — the fan-out may only move encode/decode onto the
+   pool, never change what is shipped or when. *)
+let serve_domains_equality ?(protocol = "delta-bp+rr") ~crdt ~n ~ops () =
+  let run domains =
+    run_cluster ~protocol ~lockstep:true ~metrics:true ~domains ~fanout_min:1
+      ~crdt ~n ~ops ()
+  in
+  let base_enc, base_bytes = run 1 in
+  Alcotest.(check bool)
+    "domains=1 replicas byte-identical" true (all_identical base_enc);
+  Alcotest.(check bool) "sockets moved bytes" true (base_bytes > 0);
+  List.iter
+    (fun domains ->
+      let enc, bytes = run domains in
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d replicas byte-identical" domains)
+        true
+        (all_identical enc);
+      Alcotest.(check string)
+        (Printf.sprintf "domains=%d state equals domains=1" domains)
+        (List.hd base_enc) (List.hd enc);
+      Alcotest.(check int)
+        (Printf.sprintf "domains=%d wire bytes equal domains=1" domains)
+        base_bytes bytes)
+    [ 2; 4 ]
+
+(* Same contract across event-loop backends: epoll and select drive the
+   same runtime, so a lockstep cluster must produce identical states and
+   wire bytes under either.  Skipped where epoll is unavailable. *)
+let evloop_equality () =
+  if not (Crdt_net.Evloop_epoll.available ()) then
+    Alcotest.skip ()
+  else begin
+    let run evloop =
+      run_cluster ~lockstep:true ~metrics:true ~evloop ~crdt:"gset" ~n:3
+        ~ops:8 ()
+    in
+    let sel_enc, sel_bytes = run "select" in
+    let ep_enc, ep_bytes = run "epoll" in
+    Alcotest.(check bool)
+      "select replicas byte-identical" true (all_identical sel_enc);
+    Alcotest.(check bool)
+      "epoll replicas byte-identical" true (all_identical ep_enc);
+    Alcotest.(check string) "epoll state equals select" (List.hd sel_enc)
+      (List.hd ep_enc);
+    Alcotest.(check int) "epoll wire bytes equal select" sel_bytes ep_bytes
+  end
+
 let () =
   Alcotest.run "net_convergence"
     [
@@ -422,6 +481,19 @@ let () =
           Alcotest.test_case
             "GSet conflict-sync lockstep matches the simulator" `Quick
             (cross_check ~protocol:"conflict-sync" ~crdt:"gset" ~n:3 ~ops:8);
+        ] );
+      ( "parallel serve",
+        [
+          Alcotest.test_case
+            "GSet delta-bp+rr lockstep: domains 1/2/4 byte-identical" `Quick
+            (serve_domains_equality ~crdt:"gset" ~n:3 ~ops:8);
+          Alcotest.test_case
+            "GSet conflict-sync lockstep: domains 1/2/4 byte-identical"
+            `Quick
+            (serve_domains_equality ~protocol:"conflict-sync" ~crdt:"gset"
+               ~n:3 ~ops:8);
+          Alcotest.test_case "epoll and select move identical bytes" `Quick
+            evloop_equality;
         ] );
       ( "kill -9 + restart",
         [

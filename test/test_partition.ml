@@ -91,6 +91,7 @@ let naive_tests =
     Alcotest.test_case "naive mutator transmits strictly more under load"
       `Quick (fun () ->
         let open Crdt_sim in
+        let module Workload = Crdt_engine.Workload in
         let topo = Topology.partial_mesh 6 in
         let ops ~round ~node state =
           Workload.gset_contended ~pool:5 ~round ~node state
